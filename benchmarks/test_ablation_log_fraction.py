@@ -1,0 +1,59 @@
+"""Ablation: sweep of the reconstruction log fraction.
+
+A finer-grained version of the 20/40/80/100% sweep in Figures 5-8,
+run on one workload, quantifying the accuracy/cost trade-off curve and
+the diminishing returns the paper observes beyond the point where the
+log tail covers the cache capacity.
+"""
+
+from conftest import emit
+from repro.core import ReverseStateReconstruction
+from repro.harness import format_table, true_run_for
+from repro.sampling import SampledSimulator
+from repro.workloads import build_workload
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_ablation_log_fraction(benchmark, scale):
+    name = "twolf"
+    workload = build_workload(name)
+    true_ipc = true_run_for(name, scale).ipc
+    simulator = SampledSimulator(
+        workload, scale.regimen(), scale.configs(),
+        warmup_prefix=scale.warmup_prefix,
+    )
+
+    def sweep():
+        outcomes = []
+        for fraction in FRACTIONS:
+            run = simulator.run(ReverseStateReconstruction(fraction))
+            outcomes.append((fraction, run))
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for fraction, run in outcomes:
+        rows.append([
+            f"{fraction:.0%}",
+            f"{run.estimate.mean:.4f}",
+            f"{run.relative_error(true_ipc) * 100:.2f}%",
+            f"{run.cost.cache_updates:,}",
+            f"{run.cost.work_units():,.0f}",
+        ])
+    text = format_table(
+        ["fraction", "IPC estimate", "rel. error", "cache updates", "work"],
+        rows,
+        title=f"Ablation: reconstruction fraction sweep on {name} "
+              f"(true IPC {true_ipc:.4f})",
+    )
+    emit("ablation_log_fraction", text)
+
+    # Cache updates and work must be non-decreasing in the fraction.
+    updates = [run.cost.cache_updates for _f, run in outcomes]
+    assert updates == sorted(updates)
+    # Accuracy at the full log beats the smallest fraction.
+    first_error = outcomes[0][1].relative_error(true_ipc)
+    last_error = outcomes[-1][1].relative_error(true_ipc)
+    assert last_error <= first_error + 0.02

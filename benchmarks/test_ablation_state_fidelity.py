@@ -1,0 +1,73 @@
+"""Ablation: state-level fidelity behind the IPC numbers.
+
+Scores each warm-up family's microarchitectural state against the SMARTS
+reference at every cluster boundary — the mechanism underneath Figures
+5-7: cache-content overlap drives IPC accuracy; predictor-state
+agreement matters far less.
+"""
+
+from conftest import emit
+from repro.analysis import measure_state_fidelity
+from repro.core import ReverseStateReconstruction
+from repro.harness import format_table
+from repro.sampling import SamplingRegimen
+from repro.warmup import FixedPeriodWarmup, NoWarmup
+from repro.workloads import build_workload
+
+
+def test_ablation_state_fidelity(benchmark, scale):
+    workload = build_workload("twolf")
+    regimen = SamplingRegimen(
+        scale.total_instructions // 2, scale.num_clusters // 2,
+        scale.cluster_size, seed=scale.seed,
+    )
+
+    methods = [
+        NoWarmup(),
+        FixedPeriodWarmup(0.2),
+        ReverseStateReconstruction(0.2),
+        ReverseStateReconstruction(1.0),
+    ]
+
+    reports = {}
+
+    def run_all():
+        for method in methods:
+            reports[method.name] = measure_state_fidelity(
+                workload, regimen, method, scale.configs(),
+                warmup_prefix=scale.warmup_prefix,
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        summary = report.summary()
+        rows.append([
+            name,
+            f"{summary['l1d_overlap'] * 100:.1f}%",
+            f"{summary['l2_overlap'] * 100:.1f}%",
+            f"{summary['counter_agreement'] * 100:.1f}%",
+            f"{summary['prediction_agreement'] * 100:.1f}%",
+            f"{summary['ghr_match'] * 100:.0f}%",
+            f"{summary['ras_top_match'] * 100:.0f}%",
+        ])
+    text = format_table(
+        ["method", "L1D overlap", "L2 overlap", "counters equal",
+         "predictions equal", "GHR match", "RAS top match"],
+        rows,
+        title="Ablation: state fidelity vs SMARTS reference (twolf)",
+    )
+    emit("ablation_state_fidelity", text)
+
+    none_summary = reports["None"].summary()
+    rsr_full = reports["R$BP (100%)"].summary()
+    rsr_partial = reports["R$BP (20%)"].summary()
+
+    # Reconstruction repairs cache state far beyond stale.
+    assert rsr_full["l1d_overlap"] > none_summary["l1d_overlap"] + 0.2
+    # More log -> more repaired state.
+    assert rsr_full["l1d_overlap"] >= rsr_partial["l1d_overlap"] - 0.02
+    # The GHR rebuild is exact.
+    assert rsr_full["ghr_match"] == 1.0

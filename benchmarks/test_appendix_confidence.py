@@ -1,0 +1,41 @@
+"""Appendix: 95% confidence-interval tests for every method x workload.
+
+Regenerates the paper's confidence grid: does each sampled estimate's 95%
+interval cover the true IPC?  Expected shape: methods that repair state
+(SMARTS, high-fraction RSR) pass on most workloads; no warm-up fails on
+most (the paper's None row fails 7 of 9).
+"""
+
+from conftest import emit
+from repro.harness import format_per_workload
+from repro.warmup import paper_method_names
+
+
+def test_appendix_confidence(benchmark, matrix):
+    names = paper_method_names()
+
+    def render():
+        return format_per_workload(
+            matrix, names, value="ci",
+            title="Appendix: 95% confidence tests "
+                  "(yes = interval covers true IPC)",
+        )
+
+    text = benchmark.pedantic(render, rounds=5, iterations=1)
+    emit("appendix_confidence", text)
+
+    def passes(method):
+        return sum(
+            experiment.outcomes[method].passes_confidence
+            for experiment in matrix.values()
+        )
+
+    # State-repairing methods pass far more often than no warm-up.
+    assert passes("R$BP (100%)") >= passes("None")
+    assert passes("S$BP") >= passes("None")
+    # The paper: at high fractions the reverse method passes for all
+    # workloads; allow one outlier at reduced scale.
+    assert passes("R$BP (100%)") >= len(matrix) - 2
+    # No warm-up must fail somewhere (otherwise the experiment has no
+    # cold-start problem to solve).
+    assert passes("None") < len(matrix)

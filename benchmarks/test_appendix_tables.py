@@ -1,0 +1,59 @@
+"""Appendix: full relative-error and simulation-cost tables.
+
+Regenerates the paper's appendix grids — relative error and simulation
+cost for all sixteen Table 2 configurations on all nine workloads — plus
+estimated-IPC and wall-time grids.
+"""
+
+from conftest import emit
+from repro.harness import average_over_workloads, format_per_workload
+from repro.warmup import paper_method_names
+
+
+def test_appendix_relative_error(benchmark, matrix):
+    names = paper_method_names()
+
+    def render():
+        return format_per_workload(
+            matrix, names, value="error",
+            title="Appendix: relative error",
+        )
+
+    text = benchmark.pedantic(render, rounds=5, iterations=1)
+    emit("appendix_relative_error", text)
+
+    # Global shape: the best full-warm methods beat no warm-up by a wide
+    # margin on average.
+    none_error, _w, _t = average_over_workloads(matrix, "None")
+    smarts_error, _w, _t = average_over_workloads(matrix, "S$BP")
+    assert smarts_error < none_error / 2
+
+
+def test_appendix_time_tables(benchmark, matrix):
+    names = paper_method_names()
+
+    def render():
+        work = format_per_workload(
+            matrix, names, value="work",
+            title="Appendix: simulation work units",
+        )
+        wall = format_per_workload(
+            matrix, names, value="wall",
+            title="Appendix: wall-clock seconds (this host)",
+        )
+        ipc = format_per_workload(
+            matrix, names, value="ipc",
+            title="Appendix: estimated IPC",
+        )
+        return "\n\n".join([work, wall, ipc])
+
+    text = benchmark.pedantic(render, rounds=3, iterations=1)
+    emit("appendix_time_tables", text)
+
+    # Cost ordering mirrors the paper's time ordering: None cheapest,
+    # SMARTS-with-both most expensive among the Table 2 set.
+    averages = {
+        name: average_over_workloads(matrix, name)[1] for name in names
+    }
+    assert min(averages, key=averages.get) == "None"
+    assert averages["S$BP"] == max(averages.values())

@@ -1,0 +1,63 @@
+"""Extension: per-workload sampling-regimen design (Table 1 companion).
+
+The paper's Table 1 lists a sampling regimen per workload, chosen so the
+sample is trustworthy ("care must be taken to select an appropriate
+sampling regimen").  This bench automates that choice: a pilot study per
+workload estimates the between-cluster IPC variability, and the standard
+sample-size formula yields the cluster count needed for a 3% error bound
+at 95% confidence.
+"""
+
+from conftest import emit
+from repro.harness import format_table
+from repro.sampling import recommend_regimen
+from repro.workloads import PAPER_WORKLOADS, build_workload
+
+
+def test_extension_regimen_design(benchmark, scale):
+    recommendations = {}
+
+    def design_all():
+        for name in PAPER_WORKLOADS:
+            workload = build_workload(name, mem_scale=scale.mem_scale)
+            recommendations[name] = recommend_regimen(
+                workload, scale.total_instructions, scale.cluster_size,
+                target_relative_error=0.03,
+                pilot_clusters=8,
+                configs=scale.configs(),
+                warmup_prefix=scale.warmup_prefix,
+            )
+        return recommendations
+
+    benchmark.pedantic(design_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, rec in recommendations.items():
+        rows.append([
+            name,
+            f"{rec.pilot_mean_ipc:.4f}",
+            f"{rec.pilot_std_dev:.4f}",
+            f"{rec.pilot_std_dev / rec.pilot_mean_ipc:.2f}",
+            str(rec.recommended_clusters),
+            f"±{rec.predicted_error_bound:.4f}",
+        ])
+    text = format_table(
+        ["workload", "pilot IPC", "cluster std-dev", "CoV",
+         "clusters for 3%", "predicted bound"],
+        rows,
+        title="Table 1 companion: pilot-designed regimens "
+              f"(cluster size {scale.cluster_size}, 95% confidence)",
+    )
+    emit("extension_regimen_design", text)
+
+    # Shape: workloads with higher relative cluster variability need more
+    # clusters; the recommendation must track the coefficient of
+    # variation ordering at the extremes.
+    by_cov = sorted(
+        recommendations.values(),
+        key=lambda rec: rec.pilot_std_dev / rec.pilot_mean_ipc,
+    )
+    assert by_cov[0].recommended_clusters <= \
+        by_cov[-1].recommended_clusters
+    for rec in recommendations.values():
+        assert rec.recommended_clusters >= 1

@@ -1,0 +1,74 @@
+"""Figure 3: prediction of branch counters from reverse histories.
+
+Regenerates the paper's counter-inference cases and benchmarks both the
+a-priori table construction and the lookup path.
+"""
+
+from conftest import emit
+from repro.core.counter_table import (
+    CounterInferenceTable,
+    default_table,
+)
+from repro.harness import format_table
+
+_STATE_NAMES = {0: "strongly NT", 1: "weakly NT", 2: "weakly T",
+                3: "strongly T", None: "left stale"}
+
+
+def _encode(reverse_history):
+    bits = 0
+    for position, taken in enumerate(reverse_history):
+        bits |= int(taken) << position
+    return len(reverse_history), bits
+
+
+def test_figure3_counter_inference(benchmark):
+    table = default_table()
+
+    cases = [
+        ("case 1: T T T", [True, True, True]),
+        ("case 2: N N N", [False, False, False]),
+        ("case 3: N T T T (pattern deeper)", [False, True, True, True]),
+        ("ambiguous: T", [True]),
+        ("ambiguous: N", [False]),
+        ("ambiguous: T T", [True, True]),
+        ("ambiguous: T N T N", [True, False, True, False]),
+        ("no history", []),
+    ]
+
+    def lookup_all():
+        return [table.lookup(*_encode(history)) for _name, history in cases]
+
+    inferences = benchmark.pedantic(lookup_all, rounds=100, iterations=100)
+
+    rows = []
+    for (name, _history), inference in zip(cases, inferences):
+        rows.append([
+            name,
+            _STATE_NAMES[inference.value],
+            "exact" if inference.exact else
+            f"possible {set(inference.possible)}",
+        ])
+    text = format_table(
+        ["reverse history (newest first)", "inferred counter", "status"],
+        rows,
+        title="Figure 3: prediction of branch counters",
+    )
+    emit("figure3_counter_table", text)
+
+    # Paper-stated outcomes.
+    assert inferences[0].value == 3 and inferences[0].exact
+    assert inferences[1].value == 0 and inferences[1].exact
+    assert inferences[2].exact
+    assert not inferences[3].exact
+    assert inferences[7].value is None
+
+
+def test_figure3_table_construction(benchmark):
+    """Cost of building the a-priori table ("built a priori so that
+    reconstruction can be implemented through a table lookup")."""
+    table = benchmark.pedantic(
+        lambda: CounterInferenceTable(max_history=10),
+        rounds=3, iterations=1,
+    )
+    assert len(table) == sum(2 ** k for k in range(11))

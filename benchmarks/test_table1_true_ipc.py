@@ -1,0 +1,37 @@
+"""Table 1: true IPC and sampling regimen for each workload.
+
+Regenerates the paper's baseline table: the full-trace detailed-simulation
+IPC of every benchmark plus the sampling regimen used by all subsequent
+experiments.  The benchmark times one full-trace detailed run.
+"""
+
+from conftest import emit
+from repro.harness import format_table1, true_run_for
+from repro.sampling import measure_true_ipc
+from repro.workloads import PAPER_WORKLOADS, build_workload
+
+
+def test_table1_true_ipc(benchmark, scale, matrix):
+    workload = build_workload("twolf")
+
+    def one_true_run():
+        return measure_true_ipc(
+            workload, scale.total_instructions // 4, scale.configs(),
+            warmup_prefix=scale.warmup_prefix,
+        )
+
+    result = benchmark.pedantic(one_true_run, rounds=1, iterations=1)
+    assert result.instructions == scale.total_instructions // 4
+
+    emit("table1_true_ipc", format_table1(matrix))
+
+    for name in PAPER_WORKLOADS:
+        true_run = true_run_for(name, scale)
+        assert true_run.instructions == scale.total_instructions
+        # IPC must be positive and below the 4-wide retire bound.
+        assert 0.0 < true_run.ipc <= 4.0
+
+    # mcf (pointer chasing) must be the slowest benchmark, as in the
+    # paper's Table 1 where mcf has by far the lowest true IPC.
+    ipcs = {name: true_run_for(name, scale).ipc for name in PAPER_WORKLOADS}
+    assert min(ipcs, key=ipcs.get) == "mcf"

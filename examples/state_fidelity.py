@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""State-level anatomy of the cold-start problem.
+
+IPC error is the symptom; stale microarchitectural state is the disease.
+This example scores several warm-up policies against the SMARTS
+reference at every cluster entry: how much of the cache contents and
+predictor state does each policy get right?
+
+    python examples/state_fidelity.py [workload]
+"""
+
+import sys
+
+from repro import SamplingRegimen, SimulatorConfigs, build_workload
+from repro.analysis import measure_state_fidelity
+from repro.branch import paper_predictor_config
+from repro.cache import paper_hierarchy_config
+from repro.core import ReverseStateReconstruction
+from repro.warmup import FixedPeriodWarmup, NoWarmup
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    workload = build_workload(name)
+    regimen = SamplingRegimen(
+        total_instructions=160_000, num_clusters=10, cluster_size=1_000,
+    )
+    configs = SimulatorConfigs(
+        hierarchy=paper_hierarchy_config(scale=32),
+        predictor=paper_predictor_config(scale=32),
+    )
+
+    methods = [
+        NoWarmup(),
+        FixedPeriodWarmup(0.2),
+        ReverseStateReconstruction(0.2),
+        ReverseStateReconstruction(1.0),
+    ]
+
+    header = (f"{'method':14s} {'L1D':>7s} {'L2':>7s} {'counters':>9s} "
+              f"{'predictions':>12s} {'GHR':>5s} {'RAS':>5s}")
+    print(f"state agreement with the SMARTS reference at cluster entry "
+          f"({name}):\n")
+    print(header)
+    print("-" * len(header))
+    for method in methods:
+        report = measure_state_fidelity(
+            workload, regimen, method, configs, warmup_prefix=20_000,
+        )
+        summary = report.summary()
+        print(f"{method.name:14s} "
+              f"{summary['l1d_overlap'] * 100:6.1f}% "
+              f"{summary['l2_overlap'] * 100:6.1f}% "
+              f"{summary['counter_agreement'] * 100:8.1f}% "
+              f"{summary['prediction_agreement'] * 100:11.1f}% "
+              f"{summary['ghr_match'] * 100:4.0f}% "
+              f"{summary['ras_top_match'] * 100:4.0f}%")
+
+    print(
+        "\nReading: stale caches are almost entirely wrong at cluster "
+        "entry (the cold-start problem), while stale counters mostly "
+        "still predict correctly — the state-level reason cache warm-up "
+        "dominates branch-predictor warm-up in Figures 5-7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare every warm-up method of the paper's Table 2 on one workload.
+
+Reproduces a single column of the appendix tables: relative error, the
+95% confidence test, warm-up update counts, and the deterministic work
+metric for all sixteen configurations (plus the MRRL/BLRL related-work
+baselines the paper discusses in §2).
+
+    python examples/warmup_comparison.py [workload] [total_instructions]
+"""
+
+import sys
+
+from repro import (
+    BLRLWarmup,
+    MRRLWarmup,
+    SampledSimulator,
+    SamplingRegimen,
+    build_workload,
+    measure_true_ipc,
+    paper_method_suite,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    total = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+
+    workload = build_workload(name)
+    true_run = measure_true_ipc(workload, total)
+    print(f"{workload.name}: true IPC = {true_run.ipc:.4f}\n")
+
+    regimen = SamplingRegimen(
+        total_instructions=total, num_clusters=15, cluster_size=1_200,
+    )
+    simulator = SampledSimulator(workload, regimen)
+
+    methods = paper_method_suite() + [MRRLWarmup(0.95), BLRLWarmup(0.95)]
+    header = (f"{'method':14s} {'IPC':>8s} {'rel.err':>8s} {'CI':>4s} "
+              f"{'$ upd':>9s} {'BP upd':>8s} {'logged':>9s} {'work':>11s}")
+    print(header)
+    print("-" * len(header))
+    for method in methods:
+        result = simulator.run(method)
+        error = result.relative_error(true_run.ipc)
+        ci = "yes" if result.passes_confidence_test(true_run.ipc) else "no"
+        cost = result.cost
+        print(f"{result.method_name:14s} {result.estimate.mean:8.4f} "
+              f"{error * 100:7.2f}% {ci:>4s} {cost.cache_updates:9,d} "
+              f"{cost.predictor_updates:8,d} {cost.log_records:9,d} "
+              f"{cost.work_units():11,.0f}")
+
+
+if __name__ == "__main__":
+    main()

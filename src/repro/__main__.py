@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+workloads
+    List the built-in SPEC2000-like workloads.
+true-ipc WORKLOAD
+    Full-trace detailed simulation (the accuracy baseline).
+sample WORKLOAD [--method NAME]...
+    Sampled simulation with one or more warm-up methods.
+compare WORKLOAD
+    The full Table 2 method comparison on one workload.
+simpoint WORKLOAD
+    SimPoint analysis and simulation (paper Figure 9 style).
+
+All commands accept ``--scale {ci,bench,default,full}`` (or the
+``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
+tier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import (
+    SCALES,
+    format_table,
+    scale_from_env,
+    true_run_for,
+)
+from .sampling import SampledSimulator
+from .simpoint import run_simpoints, select_simpoints
+from .warmup import SmartsWarmup, make_method, paper_method_names
+from .workloads import available_workloads, build_workload
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="experiment tier (default: REPRO_EXPERIMENT_SCALE or 'bench')",
+    )
+
+
+def _resolve_scale(args):
+    if args.scale:
+        return SCALES[args.scale]
+    return scale_from_env()
+
+
+def _simulator(workload, scale):
+    return SampledSimulator(
+        workload, scale.regimen(), scale.configs(),
+        warmup_prefix=scale.warmup_prefix,
+        detail_ramp=scale.detail_ramp,
+    )
+
+
+def cmd_workloads(_args) -> int:
+    rows = []
+    for name in available_workloads():
+        workload = build_workload(name)
+        rows.append([
+            name,
+            str(len(workload.program)),
+            str(workload.memory.footprint_words()),
+            workload.description,
+        ])
+    print(format_table(
+        ["name", "instructions", "data words", "description"], rows,
+        title="Built-in workloads",
+    ))
+    return 0
+
+
+def cmd_true_ipc(args) -> int:
+    scale = _resolve_scale(args)
+    true_run = true_run_for(args.workload, scale)
+    print(f"{args.workload}: true IPC = {true_run.ipc:.4f} "
+          f"({true_run.instructions} instructions, "
+          f"{true_run.wall_seconds:.1f}s)")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    scale = _resolve_scale(args)
+    workload = build_workload(args.workload, mem_scale=scale.mem_scale)
+    true_run = true_run_for(args.workload, scale)
+    simulator = _simulator(workload, scale)
+    rows = []
+    for method_name in args.method:
+        result = simulator.run(make_method(method_name))
+        rows.append([
+            result.method_name,
+            f"{result.estimate.mean:.4f}",
+            f"{result.relative_error(true_run.ipc) * 100:.2f}%",
+            "yes" if result.passes_confidence_test(true_run.ipc) else "no",
+            f"{result.cost.warm_updates():,}",
+            f"{result.wall_seconds:.2f}s",
+        ])
+    print(format_table(
+        ["method", "IPC", "rel. error", "95% CI", "warm updates", "time"],
+        rows,
+        title=f"{args.workload}: true IPC {true_run.ipc:.4f} — "
+              f"{scale.regimen().describe()}",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    args.method = paper_method_names()
+    return cmd_sample(args)
+
+
+def cmd_simpoint(args) -> int:
+    scale = _resolve_scale(args)
+    workload = build_workload(args.workload, mem_scale=scale.mem_scale)
+    true_run = true_run_for(args.workload, scale)
+    rows = []
+    for interval in (scale.cluster_size // 2, scale.cluster_size * 8):
+        selection = select_simpoints(
+            workload, scale.total_instructions, interval,
+            max_points=args.points,
+        )
+        for warmup in (None, SmartsWarmup()):
+            result = run_simpoints(
+                workload, selection, warmup=warmup,
+                configs=scale.configs(),
+            )
+            rows.append([
+                f"{interval}",
+                str(len(selection.points)),
+                result.method_name,
+                f"{result.ipc:.4f}",
+                f"{result.relative_error(true_run.ipc) * 100:.2f}%",
+            ])
+    print(format_table(
+        ["interval", "points", "config", "IPC", "rel. error"],
+        rows,
+        title=f"{args.workload}: SimPoint vs true IPC {true_run.ipc:.4f}",
+    ))
+    return 0
+
+
+def cmd_design(args) -> int:
+    scale = _resolve_scale(args)
+    from .sampling import recommend_regimen
+
+    workload = build_workload(args.workload, mem_scale=scale.mem_scale)
+    recommendation = recommend_regimen(
+        workload, scale.total_instructions, scale.cluster_size,
+        target_relative_error=args.target_error,
+        configs=scale.configs(), warmup_prefix=scale.warmup_prefix,
+    )
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["pilot clusters", str(recommendation.pilot_clusters)],
+            ["pilot mean IPC", f"{recommendation.pilot_mean_ipc:.4f}"],
+            ["pilot cluster std-dev",
+             f"{recommendation.pilot_std_dev:.4f}"],
+            ["target relative error",
+             f"{recommendation.target_relative_error:.1%}"],
+            ["recommended clusters",
+             str(recommendation.recommended_clusters)],
+            ["predicted ±95% bound",
+             f"{recommendation.predicted_error_bound:.4f}"],
+        ],
+        title=f"Regimen design for {args.workload} "
+              f"(cluster size {scale.cluster_size})",
+    ))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Regenerate the full evaluation grid and export it."""
+    from .harness import format_per_workload, save_matrix
+    from .harness.experiment import full_matrix
+
+    scale = _resolve_scale(args)
+    matrix = full_matrix(scale.name)
+    print(format_per_workload(
+        matrix, paper_method_names(), value="error",
+        title=f"Relative error ({scale.name} tier)",
+    ))
+    print()
+    print(format_per_workload(
+        matrix, paper_method_names(), value="ci",
+        title="95% confidence tests",
+    ))
+    if args.output:
+        save_matrix(matrix, args.output)
+        print(f"\nfull grid written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reverse State Reconstruction reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "workloads", help="list built-in workloads",
+    ).set_defaults(handler=cmd_workloads)
+
+    true_parser = subparsers.add_parser(
+        "true-ipc", help="full-trace detailed simulation",
+    )
+    true_parser.add_argument("workload", choices=available_workloads())
+    _add_scale_argument(true_parser)
+    true_parser.set_defaults(handler=cmd_true_ipc)
+
+    sample_parser = subparsers.add_parser(
+        "sample", help="sampled simulation with chosen warm-up methods",
+    )
+    sample_parser.add_argument("workload", choices=available_workloads())
+    sample_parser.add_argument(
+        "--method", action="append",
+        default=None,
+        help="Table 2 method name (repeatable); default: S$BP and "
+             "R$BP (20%%)",
+    )
+    _add_scale_argument(sample_parser)
+    sample_parser.set_defaults(handler=cmd_sample)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="all sixteen Table 2 methods on one workload",
+    )
+    compare_parser.add_argument("workload", choices=available_workloads())
+    _add_scale_argument(compare_parser)
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    simpoint_parser = subparsers.add_parser(
+        "simpoint", help="SimPoint analysis on one workload",
+    )
+    simpoint_parser.add_argument("workload", choices=available_workloads())
+    simpoint_parser.add_argument("--points", type=int, default=15)
+    _add_scale_argument(simpoint_parser)
+    simpoint_parser.set_defaults(handler=cmd_simpoint)
+
+    design_parser = subparsers.add_parser(
+        "design", help="pilot-study regimen recommendation",
+    )
+    design_parser.add_argument("workload", choices=available_workloads())
+    design_parser.add_argument("--target-error", type=float, default=0.03)
+    _add_scale_argument(design_parser)
+    design_parser.set_defaults(handler=cmd_design)
+
+    reproduce_parser = subparsers.add_parser(
+        "reproduce",
+        help="regenerate the full 16x9 evaluation grid (slow)",
+    )
+    reproduce_parser.add_argument(
+        "--output", default=None,
+        help="also export the grid (.csv or .json)",
+    )
+    _add_scale_argument(reproduce_parser)
+    reproduce_parser.set_defaults(handler=cmd_reproduce)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "method", "unset") is None:
+        args.method = ["S$BP", "R$BP (20%)"]
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Analysis tools: warm-up fidelity scoring and IPC phase profiles."""
+
+from .fidelity import (
+    StateFidelity,
+    FidelityReport,
+    measure_state_fidelity,
+)
+from .phases import (
+    IPCProfile,
+    measure_ipc_profile,
+)
+
+__all__ = [
+    "StateFidelity",
+    "FidelityReport",
+    "measure_state_fidelity",
+    "IPCProfile",
+    "measure_ipc_profile",
+]

@@ -1,0 +1,35 @@
+"""Branch prediction substrate: Gshare, BTB, RAS, combined predictor."""
+
+from .config import PredictorConfig, paper_predictor_config
+from .counters import (
+    STRONG_NOT_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+    STRONG_TAKEN,
+    ALL_STATES,
+    predict_taken,
+    update_counter,
+    apply_history,
+)
+from .gshare import GsharePHT
+from .btb import BranchTargetBuffer
+from .ras import ReturnAddressStack
+from .predictor import BranchPredictor, PredictorStats
+
+__all__ = [
+    "PredictorConfig",
+    "paper_predictor_config",
+    "STRONG_NOT_TAKEN",
+    "WEAK_NOT_TAKEN",
+    "WEAK_TAKEN",
+    "STRONG_TAKEN",
+    "ALL_STATES",
+    "predict_taken",
+    "update_counter",
+    "apply_history",
+    "GsharePHT",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchPredictor",
+    "PredictorStats",
+]

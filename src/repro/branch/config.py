@@ -1,0 +1,44 @@
+"""Branch-predictor configuration.
+
+Defaults follow the paper's §4: a 64K-entry Gshare predictor, a 4K-entry
+BTB, and an eight-entry return address stack.  As with the caches, a
+`scale` parameter shrinks table capacities for the shorter synthetic
+workloads while preserving structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Sizes of the prediction structures."""
+
+    pht_entries: int
+    btb_entries: int
+    ras_entries: int
+
+    def __post_init__(self) -> None:
+        for name in ("pht_entries", "btb_entries"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.ras_entries <= 0:
+            raise ValueError("ras_entries must be positive")
+
+    @property
+    def history_bits(self) -> int:
+        """Width of the global history register (log2 of PHT entries)."""
+        return self.pht_entries.bit_length() - 1
+
+
+def paper_predictor_config(scale: int = 16) -> PredictorConfig:
+    """The paper's predictor, scaled down by `scale` (power of two)."""
+    if scale < 1 or scale & (scale - 1):
+        raise ValueError("scale must be a power of two >= 1")
+    return PredictorConfig(
+        pht_entries=64 * 1024 // scale,
+        btb_entries=4 * 1024 // scale,
+        ras_entries=8,
+    )

@@ -1,0 +1,41 @@
+"""Two-bit saturating counter semantics (paper Figure 3, left side).
+
+Counter encoding:
+
+====  ===================  ==========
+value state                prediction
+====  ===================  ==========
+0     strongly not taken   not taken
+1     weakly not taken     not taken
+2     weakly taken         taken
+3     strongly taken       taken
+====  ===================  ==========
+"""
+
+from __future__ import annotations
+
+STRONG_NOT_TAKEN = 0
+WEAK_NOT_TAKEN = 1
+WEAK_TAKEN = 2
+STRONG_TAKEN = 3
+
+ALL_STATES = frozenset({0, 1, 2, 3})
+
+
+def predict_taken(counter: int) -> bool:
+    """Prediction implied by a counter value."""
+    return counter >= WEAK_TAKEN
+
+
+def update_counter(counter: int, taken: bool) -> int:
+    """Saturating increment on taken, decrement on not taken."""
+    if taken:
+        return counter + 1 if counter < STRONG_TAKEN else STRONG_TAKEN
+    return counter - 1 if counter > STRONG_NOT_TAKEN else STRONG_NOT_TAKEN
+
+
+def apply_history(counter: int, outcomes) -> int:
+    """Fold a forward-order outcome sequence into `counter`."""
+    for taken in outcomes:
+        counter = update_counter(counter, taken)
+    return counter

@@ -1,0 +1,308 @@
+"""Set-associative LRU cache with reverse-reconstruction support.
+
+The cache keeps, per set, an explicit recency ordering (`order[set]` lists
+way indices from MRU to LRU) plus per-block *reconstructed* bits, the
+hardware hook the paper's §3.1 algorithm relies on:
+
+    "Each cache block contains a bit that indicates if it has been
+     reconstructed.  These bits are cleared before the logged data are
+     used to warm the cache."
+
+Two access families are exposed:
+
+- :meth:`Cache.access` — a normal (forward-time) access that updates tags,
+  recency, and dirty bits according to the write policy.  Used by detailed
+  simulation and by SMARTS-style functional warming.
+- :meth:`Cache.begin_reconstruction` / :meth:`Cache.reconstruct_reference`
+  — the reverse-order primitives: the *first* reference seen for a block
+  (i.e. the most recent in program order) wins, reconstructed blocks are
+  ranked MRU-first in discovery order, and victims are chosen among
+  *stale* (not-yet-reconstructed) blocks only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import CacheConfig, WritePolicy
+
+
+@dataclass
+class CacheStats:
+    """Event counters; `updates` counts every state-changing operation and
+    is the deterministic cost metric used by the warm-up comparisons."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    reconstruction_applied: int = 0
+    reconstruction_skipped: int = 0
+    updates: int = 0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.reconstruction_applied = 0
+        self.reconstruction_skipped = 0
+        self.updates = 0
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one forward cache access."""
+
+    hit: bool
+    #: Byte address of a dirty line written back, or None.
+    writeback_address: int | None = None
+    #: Byte address of the line evicted (clean or dirty), or None.
+    evicted_address: int | None = None
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._index_mask = self.num_sets - 1
+        self._sets_power_of_two = (self.num_sets & (self.num_sets - 1)) == 0
+        assoc = self.associativity
+        sets = self.num_sets
+        #: tags[s][w] is the line tag stored in way w of set s (None=invalid).
+        self.tags: list[list[int | None]] = [[None] * assoc for _ in range(sets)]
+        self.dirty: list[list[bool]] = [[False] * assoc for _ in range(sets)]
+        self.reconstructed: list[list[bool]] = [
+            [False] * assoc for _ in range(sets)
+        ]
+        #: order[s] lists way indices from most- to least-recently used.
+        self.order: list[list[int]] = [list(range(assoc)) for _ in range(sets)]
+        #: Number of ways reconstructed so far in set s (reverse warm-up).
+        self.recon_count: list[int] = [0] * sets
+        self.stats = CacheStats()
+
+    # -- address helpers --------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Address of the first byte of the line containing `address`."""
+        return (address >> self._line_shift) << self._line_shift
+
+    def split_address(self, address: int) -> tuple[int, int]:
+        """Return (set index, tag) for `address`."""
+        line = address >> self._line_shift
+        if self._sets_power_of_two:
+            return line & self._index_mask, line >> self.num_sets.bit_length() - 1
+        return line % self.num_sets, line // self.num_sets
+
+    def _address_of(self, set_index: int, tag: int) -> int:
+        if self._sets_power_of_two:
+            line = (tag << (self.num_sets.bit_length() - 1)) | set_index
+        else:
+            line = tag * self.num_sets + set_index
+        return line << self._line_shift
+
+    # -- forward-time access ------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform one forward access, honouring the write policy."""
+        stats = self.stats
+        stats.accesses += 1
+        stats.updates += 1
+        set_index, tag = self.split_address(address)
+        tags = self.tags[set_index]
+        order = self.order[set_index]
+
+        for way, stored in enumerate(tags):
+            if stored == tag:
+                stats.hits += 1
+                if order[0] != way:
+                    order.remove(way)
+                    order.insert(0, way)
+                if is_write and self.config.write_policy is WritePolicy.WBWA:
+                    self.dirty[set_index][way] = True
+                return AccessResult(hit=True)
+
+        stats.misses += 1
+        if is_write and self.config.write_policy is WritePolicy.WTNA:
+            # Write miss with no-write-allocate: the line is not brought in.
+            return AccessResult(hit=False)
+
+        victim = order[-1]
+        evicted_tag = tags[victim]
+        writeback_address = None
+        evicted_address = None
+        if evicted_tag is not None:
+            evicted_address = self._address_of(set_index, evicted_tag)
+            stats.evictions += 1
+            if self.dirty[set_index][victim]:
+                stats.writebacks += 1
+                writeback_address = evicted_address
+        tags[victim] = tag
+        self.dirty[set_index][victim] = (
+            is_write and self.config.write_policy is WritePolicy.WBWA
+        )
+        order.remove(victim)
+        order.insert(0, victim)
+        return AccessResult(
+            hit=False,
+            writeback_address=writeback_address,
+            evicted_address=evicted_address,
+        )
+
+    def probe(self, address: int) -> bool:
+        """Check residency without perturbing any state."""
+        set_index, tag = self.split_address(address)
+        return tag in self.tags[set_index]
+
+    # -- reverse reconstruction primitives ---------------------------------
+
+    def begin_reconstruction(self) -> None:
+        """Clear all reconstructed bits (start of a reverse warm-up pass)."""
+        for bits in self.reconstructed:
+            for way in range(self.associativity):
+                bits[way] = False
+        for set_index in range(self.num_sets):
+            self.recon_count[set_index] = 0
+
+    def set_fully_reconstructed(self, set_index: int) -> bool:
+        """True once every way of `set_index` has been reconstructed."""
+        return self.recon_count[set_index] >= self.associativity
+
+    def reconstruct_reference(self, address: int, is_write: bool = False) -> bool:
+        """Apply one logged reference during a reverse-order scan.
+
+        Returns True if the reference changed state, False if it was
+        skipped as redundant (its set already fully reconstructed, or its
+        block already reconstructed by a more recent reference).
+
+        Implements the paper's §3.1 rules:
+
+        - a set that is fully reconstructed ignores all older references;
+        - a hit on an already-reconstructed block is redundant;
+        - a hit on a stale block promotes it to the next reconstruction
+          rank (first reconstructed block of a set becomes MRU, later ones
+          take increasing LRU values);
+        - a miss replaces the least-recently-used *stale* block;
+        - WTNA caches allocate even on logged writes, "to avoid history
+          looking for a previous read".
+        """
+        stats = self.stats
+        set_index, tag = self.split_address(address)
+        count = self.recon_count[set_index]
+        if count >= self.associativity:
+            stats.reconstruction_skipped += 1
+            return False
+
+        tags = self.tags[set_index]
+        bits = self.reconstructed[set_index]
+        order = self.order[set_index]
+
+        for way, stored in enumerate(tags):
+            if stored == tag:
+                if bits[way]:
+                    stats.reconstruction_skipped += 1
+                    return False
+                # Present but stale: promote to the next reconstruction rank.
+                bits[way] = True
+                order.remove(way)
+                order.insert(count, way)
+                self.recon_count[set_index] = count + 1
+                stats.reconstruction_applied += 1
+                stats.updates += 1
+                return True
+
+        # Absent: insert into the least-recently-used stale block.  Because
+        # reconstructed blocks occupy order[0:count], order[-1] is always a
+        # stale way here.
+        victim = order[-1]
+        tags[victim] = tag
+        self.dirty[set_index][victim] = (
+            is_write and self.config.write_policy is WritePolicy.WBWA
+        )
+        bits[victim] = True
+        order.pop()
+        order.insert(count, victim)
+        self.recon_count[set_index] = count + 1
+        stats.reconstruction_applied += 1
+        stats.updates += 1
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Invalidate all lines and reset statistics."""
+        for set_index in range(self.num_sets):
+            for way in range(self.associativity):
+                self.tags[set_index][way] = None
+                self.dirty[set_index][way] = False
+                self.reconstructed[set_index][way] = False
+            self.order[set_index] = list(range(self.associativity))
+            self.recon_count[set_index] = 0
+        self.stats.reset()
+
+    def contents(self) -> set[int]:
+        """Line addresses of every valid block (for state-comparison tests)."""
+        lines = set()
+        for set_index in range(self.num_sets):
+            for tag in self.tags[set_index]:
+                if tag is not None:
+                    lines.add(self._address_of(set_index, tag))
+        return lines
+
+    def state_fingerprint(self) -> tuple:
+        """Hashable summary of the architecturally visible state.
+
+        Per set, the stored tags in most- to least-recently-used order.
+        Physical way placement is excluded: two caches holding the same
+        lines with the same recency behave identically regardless of
+        which way each line occupies.
+        """
+        return tuple(
+            tuple(self.tags[set_index][way] for way in self.order[set_index])
+            for set_index in range(self.num_sets)
+        )
+
+    # -- state snapshot (live-points support) --------------------------------
+
+    def export_state(self) -> dict:
+        """Deep-copy the architecturally visible state (tags, dirty bits,
+        recency) into a plain dict, for checkpoint libraries."""
+        return {
+            "tags": [list(row) for row in self.tags],
+            "dirty": [list(row) for row in self.dirty],
+            "order": [list(row) for row in self.order],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state`.
+
+        The snapshot must come from a cache with identical geometry.
+        """
+        if len(state["tags"]) != self.num_sets or (
+            self.num_sets and len(state["tags"][0]) != self.associativity
+        ):
+            raise ValueError("snapshot geometry does not match this cache")
+        self.tags = [list(row) for row in state["tags"]]
+        self.dirty = [list(row) for row in state["dirty"]]
+        self.order = [list(row) for row in state["order"]]
+        for set_index in range(self.num_sets):
+            for way in range(self.associativity):
+                self.reconstructed[set_index][way] = False
+            self.recon_count[set_index] = 0
+
+    def __repr__(self) -> str:
+        config = self.config
+        return (
+            f"Cache({config.name}: {config.size_bytes}B, "
+            f"{config.associativity}-way, {config.line_bytes}B lines, "
+            f"{config.write_policy.value})"
+        )

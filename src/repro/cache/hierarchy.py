@@ -1,0 +1,159 @@
+"""Two-level memory hierarchy with split L1, unified L2, and buses.
+
+Mirrors the paper's §4 framework: write-through no-allocate L1 instruction
+and data caches in front of a write-back write-allocate unified L2, an L1
+bus shared by both L1s, and an L2 bus to main memory.
+
+Two access families are provided:
+
+- :meth:`MemoryHierarchy.timed_access` — updates cache state *and* returns
+  the access latency in core cycles, modelling bus contention.  Used by
+  hot (detailed) simulation.
+- :meth:`MemoryHierarchy.warm_access` — updates cache state only, with no
+  timing.  Used by functional (SMARTS-style) warming.  The state change is
+  identical to the timed path.
+"""
+
+from __future__ import annotations
+
+from .bus import Bus
+from .cache import Cache
+from .config import HierarchyConfig, WritePolicy, paper_hierarchy_config
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + two buses + flat main memory."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config if config is not None else paper_hierarchy_config()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.l1_bus = Bus(self.config.l1_bus)
+        self.l2_bus = Bus(self.config.l2_bus)
+        self.memory_accesses = 0
+
+    # -- internal: one L2-and-below round trip -------------------------------
+
+    def _l2_fill(self, address: int, is_write: bool, now: int) -> int:
+        """Access L2 (and memory below it); return completion time."""
+        line_bytes = self.l2.config.line_bytes
+        result = self.l2.access(address, is_write)
+        time = now + self.l2.config.hit_latency
+        if not result.hit:
+            self.memory_accesses += 1
+            # Miss: fetch the line across the L2 bus from memory.
+            time += self.config.memory_latency
+            time = self.l2_bus.request(time, line_bytes)
+        if result.writeback_address is not None:
+            # Dirty victim drains to memory; occupies the bus after our fill.
+            self.l2_bus.request(time, line_bytes)
+        return time
+
+    # -- timed accesses (hot simulation) --------------------------------------
+
+    def timed_access(
+        self, address: int, is_write: bool, is_instruction: bool, now: int
+    ) -> int:
+        """Access the hierarchy at core-cycle `now`; return latency in cycles."""
+        l1 = self.l1i if is_instruction else self.l1d
+        line_bytes = l1.config.line_bytes
+        result = l1.access(address, is_write)
+
+        if result.hit:
+            finish = now + l1.config.hit_latency
+            if is_write and l1.config.write_policy is WritePolicy.WTNA:
+                # Write-through: the word crosses the L1 bus and updates L2.
+                # The store retires at L1 speed; the write-through drains in
+                # the background but still occupies bus/L2 bandwidth.
+                drain = self.l1_bus.request(now + l1.config.hit_latency, 8)
+                self._l2_fill(address, True, drain)
+            return finish - now
+
+        if is_write and l1.config.write_policy is WritePolicy.WTNA:
+            # Write miss, no-write-allocate: forward the word to L2 only.
+            drain = self.l1_bus.request(now + l1.config.hit_latency, 8)
+            finish = self._l2_fill(address, True, drain)
+            # The store itself completes once accepted by the bus.
+            return drain - now
+
+        # Read miss (or WBWA write miss): fetch line from L2 via the L1 bus.
+        request_time = self.l1_bus.request(now + l1.config.hit_latency, 8)
+        fill_time = self._l2_fill(address, is_write, request_time)
+        finish = self.l1_bus.request(fill_time, line_bytes)
+        if result.writeback_address is not None:
+            # Dirty L1 victim (only possible for WBWA L1s) drains afterwards.
+            drain = self.l1_bus.request(finish, line_bytes)
+            self._l2_fill(result.writeback_address, True, drain)
+        return finish - now
+
+    # -- untimed accesses (functional warming / cold-state repair) -----------
+
+    def warm_access(
+        self, address: int, is_write: bool, is_instruction: bool
+    ) -> None:
+        """Apply the state effect of one access with no timing.
+
+        Follows the same miss/write-through paths as :meth:`timed_access`
+        so warmed state matches what detailed simulation would produce.
+        """
+        l1 = self.l1i if is_instruction else self.l1d
+        result = l1.access(address, is_write)
+        if result.hit:
+            if is_write and l1.config.write_policy is WritePolicy.WTNA:
+                self.l2.access(address, True)
+            return
+        if is_write and l1.config.write_policy is WritePolicy.WTNA:
+            self.l2.access(address, True)
+            return
+        self.l2.access(address, is_write)
+        if result.writeback_address is not None:
+            self.l2.access(result.writeback_address, True)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Invalidate all caches and reset buses and counters."""
+        self.l1i.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.l1_bus.reset()
+        self.l2_bus.reset()
+        self.memory_accesses = 0
+
+    def reset_stats(self) -> None:
+        """Zero counters without disturbing cache contents."""
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.memory_accesses = 0
+
+    def total_updates(self) -> int:
+        """Total state-changing cache operations (warm-up cost metric)."""
+        return (
+            self.l1i.stats.updates
+            + self.l1d.stats.updates
+            + self.l2.stats.updates
+        )
+
+    def caches(self) -> tuple[Cache, Cache, Cache]:
+        return self.l1i, self.l1d, self.l2
+
+    def export_state(self) -> dict:
+        """Snapshot all three caches (live-points support)."""
+        return {
+            "l1i": self.l1i.export_state(),
+            "l1d": self.l1d.export_state(),
+            "l2": self.l2.export_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`; buses rewind."""
+        self.l1i.load_state(state["l1i"])
+        self.l1d.load_state(state["l1d"])
+        self.l2.load_state(state["l2"])
+        self.l1_bus.rewind()
+        self.l2_bus.rewind()
+
+    def __repr__(self) -> str:
+        return f"MemoryHierarchy({self.l1i!r}, {self.l1d!r}, {self.l2!r})"

@@ -1,0 +1,18 @@
+"""Classical cache-sampling techniques (paper §2 related work)."""
+
+from .trace import ReferenceTrace, capture_trace
+from .estimators import (
+    MissRatioEstimate,
+    full_trace_miss_ratio,
+    time_sampling_estimate,
+    set_sampling_estimate,
+)
+
+__all__ = [
+    "ReferenceTrace",
+    "capture_trace",
+    "MissRatioEstimate",
+    "full_trace_miss_ratio",
+    "time_sampling_estimate",
+    "set_sampling_estimate",
+]

@@ -1,0 +1,50 @@
+"""Reverse State Reconstruction — the paper's primary contribution."""
+
+from .logging import (
+    SkipRegionLog,
+    REF_LOAD,
+    REF_STORE,
+    REF_INSTRUCTION,
+    BR_COND,
+    BR_CALL,
+    BR_RET,
+    BR_JUMP,
+)
+from .counter_table import (
+    CounterInferenceTable,
+    Inference,
+    default_table,
+    prepend_outcome,
+    resolve,
+    MAX_HISTORY,
+)
+from .cache_reconstruct import (
+    ReverseCacheReconstructor,
+    CacheReconstructionStats,
+)
+from .ras_reconstruct import reconstruct_ras, reconstruct_ras_contents
+from .branch_reconstruct import ReverseBranchReconstructor
+from .method import ReverseStateReconstruction
+
+__all__ = [
+    "SkipRegionLog",
+    "REF_LOAD",
+    "REF_STORE",
+    "REF_INSTRUCTION",
+    "BR_COND",
+    "BR_CALL",
+    "BR_RET",
+    "BR_JUMP",
+    "CounterInferenceTable",
+    "Inference",
+    "default_table",
+    "prepend_outcome",
+    "resolve",
+    "MAX_HISTORY",
+    "ReverseCacheReconstructor",
+    "CacheReconstructionStats",
+    "reconstruct_ras",
+    "reconstruct_ras_contents",
+    "ReverseBranchReconstructor",
+    "ReverseStateReconstruction",
+]

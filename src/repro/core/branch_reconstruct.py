@@ -1,0 +1,208 @@
+"""Reverse branch-predictor reconstruction (paper §3.2).
+
+Responsibilities, in the order they run:
+
+1. **Global history register** — "the global history register must first
+   be reconstructed using the last n branches of the skip-region trace";
+   only then can PHT entries be indexed correctly.
+2. **BTB** — rebuilt eagerly by a reverse pass, "similar to the cache
+   reconstruction since the BTB can be viewed as a direct mapped cache":
+   the most recent taken transfer to claim an entry wins.
+3. **RAS** — rebuilt by the reverse push/pop counter algorithm
+   (:mod:`repro.core.ras_reconstruct`).
+4. **PHT counters** — reconstructed *on demand* during the next cluster:
+   "as branches are encountered in the next cluster, the branch predictor
+   is probed to determine if the entry has been reconstructed.  If not,
+   the entry is first reconstructed before hot execution continues.
+   During the traversal, branches that reference entries that are not
+   relevant to the current entry also are reconstructed" — implemented as
+   a cursor that walks the reverse log once, accumulating per-entry
+   reverse histories and finalising each entry through the a-priori
+   counter-inference table as soon as its history pins the counter.
+"""
+
+from __future__ import annotations
+
+from ..branch import BranchPredictor
+from .counter_table import CounterInferenceTable, default_table
+from .logging import BR_COND, BR_RET, SkipRegionLog
+from .ras_reconstruct import reconstruct_ras
+
+
+class ReverseBranchReconstructor:
+    """On-demand reverse reconstruction of one branch predictor."""
+
+    def __init__(self, predictor: BranchPredictor,
+                 table: CounterInferenceTable | None = None,
+                 infer_counters: bool = True) -> None:
+        self.predictor = predictor
+        self.table = table if table is not None else default_table()
+        #: Ablation switch: when False, PHT entries are marked reconstructed
+        #: without writing inferred counter values (stale counters remain).
+        self.infer_counters = infer_counters
+        self._conditionals: list[tuple[int, bool, int]] = []
+        self._cursor = -1
+        #: entry index -> (history length, history bits, reverse-order).
+        self._pending: dict[int, tuple[int, int]] = {}
+        self.counter_writes = 0
+        self.ras_entries_recovered = 0
+        self.log_walk_steps = 0
+
+    # -- eager phase (immediately before the cluster) -----------------------
+
+    def prepare(self, log: SkipRegionLog, fraction: float = 1.0) -> None:
+        """Run the eager reconstruction steps and arm the on-demand cursor."""
+        predictor = self.predictor
+        predictor.clear_reconstructed()
+        self._pending = {}
+        self.counter_writes = 0
+        self.log_walk_steps = 0
+
+        tail = log.branch_tail(fraction)
+
+        # --- step 1: global history register -----------------------------
+        pht = predictor.pht
+        history_bits = pht.history_bits
+        ghr = 0
+        age = 0
+        for position in range(len(tail) - 1, -1, -1):
+            pc, next_pc, taken, kind = tail[position]
+            if kind == BR_COND:
+                ghr |= int(taken) << age
+                age += 1
+                if age >= history_bits:
+                    break
+        if age:
+            pht.set_history(ghr)
+
+        # --- step 2: BTB, newest claimant wins ----------------------------
+        btb = predictor.btb
+        for position in range(len(tail) - 1, -1, -1):
+            pc, next_pc, taken, kind = tail[position]
+            if kind == BR_RET or not taken:
+                continue
+            btb.reconstruct(pc, next_pc)
+
+        # --- step 3: RAS ---------------------------------------------------
+        self.ras_entries_recovered = reconstruct_ras(predictor.ras, tail)
+
+        # --- step 4: arm the on-demand PHT walker --------------------------
+        # Precompute the GHR in effect *before* each conditional branch in
+        # the tail (one forward pass; the GHR preceding the tail is
+        # unobservable and approximated as zero, which only affects the
+        # oldest `history_bits` conditionals of the tail).
+        conditionals = []
+        running = 0
+        mask = (1 << history_bits) - 1
+        for pc, next_pc, taken, kind in tail:
+            if kind != BR_COND:
+                continue
+            conditionals.append((pc, taken, running))
+            running = ((running << 1) | int(taken)) & mask
+        self._conditionals = conditionals
+        self._cursor = len(conditionals) - 1
+
+    # -- on-demand phase (during the cluster) ------------------------------
+
+    def demand(self, entry: int) -> None:
+        """Reconstruct PHT `entry`, walking the reverse log as far as needed.
+
+        Every other entry met along the way has its reverse history
+        extended and is finalised the moment the history pins its counter,
+        so the log is consumed exactly once per cluster.
+        """
+        pht = self.predictor.pht
+        reconstructed = pht.reconstructed
+        if reconstructed[entry]:
+            return
+        conditionals = self._conditionals
+        pending = self._pending
+        table = self.table
+        mask = pht.entries - 1
+        cursor = self._cursor
+
+        while cursor >= 0 and not reconstructed[entry]:
+            pc, taken, ghr_before = conditionals[cursor]
+            cursor -= 1
+            self.log_walk_steps += 1
+            index = (pc ^ ghr_before) & mask
+            if reconstructed[index]:
+                continue
+            length, bits = pending.get(index, (0, 0))
+            # Walking newest -> oldest: this outcome is the next-older bit.
+            bits |= int(taken) << length
+            length += 1
+            inference = table.lookup(length, bits)
+            if inference.exact:
+                self._finalize(index, inference.value)
+                pending.pop(index, None)
+            else:
+                pending[index] = (length, bits)
+        self._cursor = cursor
+
+        if not reconstructed[entry]:
+            # Log exhausted: resolve with whatever history accumulated.
+            length, bits = pending.pop(entry, (0, 0))
+            inference = table.lookup(length, bits)
+            self._finalize(entry, inference.value)
+
+    def _finalize(self, entry: int, value: int | None) -> None:
+        pht = self.predictor.pht
+        if value is not None and self.infer_counters:
+            pht.counters[entry] = value
+            self.counter_writes += 1
+        pht.reconstructed[entry] = True
+
+    def drain(self) -> None:
+        """Eager variant (ablation): consume the whole log immediately,
+        finalising every entry it mentions, instead of reconstructing on
+        demand during the cluster."""
+        pht = self.predictor.pht
+        reconstructed = pht.reconstructed
+        pending = self._pending
+        table = self.table
+        mask = pht.entries - 1
+        cursor = self._cursor
+        while cursor >= 0:
+            pc, taken, ghr_before = self._conditionals[cursor]
+            cursor -= 1
+            self.log_walk_steps += 1
+            index = (pc ^ ghr_before) & mask
+            if reconstructed[index]:
+                continue
+            length, bits = pending.get(index, (0, 0))
+            bits |= int(taken) << length
+            length += 1
+            inference = table.lookup(length, bits)
+            if inference.exact:
+                self._finalize(index, inference.value)
+                pending.pop(index, None)
+            else:
+                pending[index] = (length, bits)
+        self._cursor = cursor
+        for entry, (length, bits) in list(pending.items()):
+            self._finalize(entry, table.lookup(length, bits).value)
+        pending.clear()
+
+    # -- hot-loop hook --------------------------------------------------------
+
+    def make_hook(self):
+        """Hook for :meth:`TimingSimulator.run`: reconstruct the probed
+        PHT entry on demand before each conditional branch predicts."""
+        predictor = self.predictor
+        pht = predictor.pht
+        reconstructed = pht.reconstructed
+        demand = self.demand
+        index = pht.index
+
+        def pre_branch_hook(pc, inst):
+            if not inst.is_cond_branch:
+                return
+            entry = index(pc)
+            if not reconstructed[entry]:
+                demand(entry)
+                # The hot update that follows trains this entry, so it is
+                # authoritative from now on.
+                reconstructed[entry] = True
+
+        return pre_branch_hook

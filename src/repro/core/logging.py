@@ -1,0 +1,116 @@
+"""Skip-region logging (paper §3).
+
+"While skipping between clusters, the data necessary for reconstruction
+are recorded."  During cold simulation the Reverse State Reconstruction
+method buffers two streams:
+
+- **memory references** — one record per data load/store and per fetched
+  instruction block, carrying the address and two booleans (entry type:
+  instruction/data; reference type: load/store), exactly the fields the
+  cache reconstruction consumes;
+- **branch records** — one record per control transfer, carrying the PC,
+  next PC, outcome, and the classification needed to replay effects on
+  the PHT, BTB, and RAS.
+
+Records are plain tuples appended to lists: logging must be cheap because
+it happens for *every* skipped instruction, while reconstruction — the
+expensive part — touches only the log tail.  "To minimize the storage
+requirements of the algorithm, data are kept only for the current cluster
+of execution" — :meth:`SkipRegionLog.clear` is called after every cluster.
+"""
+
+from __future__ import annotations
+
+#: Memory-record reference kinds.
+REF_LOAD = 0
+REF_STORE = 1
+REF_INSTRUCTION = 2
+
+#: Branch-record kinds.
+BR_COND = 0
+BR_CALL = 1
+BR_RET = 2
+BR_JUMP = 3
+
+
+class SkipRegionLog:
+    """Buffered skip-region reference streams for one inter-cluster gap.
+
+    Memory records are ``(address, kind)`` with kind one of REF_LOAD,
+    REF_STORE, REF_INSTRUCTION.  Branch records are
+    ``(pc, next_pc, taken, kind)`` with kind one of BR_COND, BR_CALL,
+    BR_RET, BR_JUMP.  Both lists are in program order (oldest first);
+    reconstruction iterates them in reverse.
+    """
+
+    __slots__ = ("memory_records", "branch_records")
+
+    def __init__(self) -> None:
+        self.memory_records: list[tuple[int, int]] = []
+        self.branch_records: list[tuple[int, int, bool, int]] = []
+
+    # -- hook factories (installed on FunctionalMachine.run) ---------------
+
+    def make_mem_hook(self):
+        """Hook recording data references."""
+        append = self.memory_records.append
+
+        def mem_hook(pc, next_pc, address, is_store):
+            append((address, REF_STORE if is_store else REF_LOAD))
+
+        return mem_hook
+
+    def make_ifetch_hook(self):
+        """Hook recording instruction-block fetches."""
+        append = self.memory_records.append
+
+        def ifetch_hook(address):
+            append((address, REF_INSTRUCTION))
+
+        return ifetch_hook
+
+    def make_branch_hook(self):
+        """Hook recording control transfers."""
+        append = self.branch_records.append
+
+        def branch_hook(pc, next_pc, inst, taken):
+            if inst.is_cond_branch:
+                kind = BR_COND
+            elif inst.is_call:
+                kind = BR_CALL
+            elif inst.is_ret:
+                kind = BR_RET
+            else:
+                kind = BR_JUMP
+            append((pc, next_pc, taken, kind))
+
+        return branch_hook
+
+    # -- consumption --------------------------------------------------------
+
+    def memory_tail(self, fraction: float) -> list[tuple[int, int]]:
+        """The most recent `fraction` of memory records (program order)."""
+        return self._tail(self.memory_records, fraction)
+
+    def branch_tail(self, fraction: float) -> list[tuple[int, int, bool, int]]:
+        """The most recent `fraction` of branch records (program order)."""
+        return self._tail(self.branch_records, fraction)
+
+    @staticmethod
+    def _tail(records: list, fraction: float) -> list:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction >= 1.0:
+            return records
+        keep = int(round(len(records) * fraction))
+        if keep <= 0:
+            return []
+        return records[len(records) - keep:]
+
+    def record_count(self) -> int:
+        return len(self.memory_records) + len(self.branch_records)
+
+    def clear(self) -> None:
+        """Discard the gap's data (called after every cluster)."""
+        self.memory_records.clear()
+        self.branch_records.clear()

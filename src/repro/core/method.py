@@ -1,0 +1,140 @@
+"""The Reverse State Reconstruction warm-up method (paper §3).
+
+Skip-region behaviour: cold functional simulation with logging hooks —
+"no analysis is performed between clusters except for logging the needed
+information for reconstruction."  Immediately before each cluster the
+cache hierarchy is rebuilt by a reverse scan of the memory log and the
+branch predictor's GHR/BTB/RAS are rebuilt from the branch log; PHT
+counters are reconstructed on demand as the cluster executes.
+
+The `fraction` parameter matches the paper's R$ / R$BP percentages: the
+*entire* skip region is always logged ("all accounting information
+necessary for reconstruction is logged in the skip region, regardless of
+the warm-up percentage"), but only the most recent `fraction` of the log
+is consumed by reconstruction.
+"""
+
+from __future__ import annotations
+
+from ..warmup.base import WarmupMethod, SimulationContext
+from .branch_reconstruct import ReverseBranchReconstructor
+from .cache_reconstruct import CacheReconstructionStats, ReverseCacheReconstructor
+from .counter_table import CounterInferenceTable
+from .logging import SkipRegionLog
+
+
+class ReverseStateReconstruction(WarmupMethod):
+    """Paper Table 2 entries R$ (x%), RBP, and R$BP (x%)."""
+
+    def __init__(
+        self,
+        fraction: float = 1.0,
+        warm_cache: bool = True,
+        warm_predictor: bool = True,
+        table: CounterInferenceTable | None = None,
+        on_demand: bool = True,
+        infer_counters: bool = True,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not (warm_cache or warm_predictor):
+            raise ValueError("at least one structure must be warmed")
+        self.fraction = fraction
+        self.warm_cache = warm_cache
+        self.warm_predictor = warm_predictor
+        #: Ablation switches (DESIGN.md §5): `on_demand=False` drains the
+        #: whole branch log eagerly before the cluster; `infer_counters=
+        #: False` skips counter inference (GHR/BTB/RAS repair only).
+        self.on_demand = on_demand
+        self.infer_counters = infer_counters
+        self.warms_cache = warm_cache
+        self.warms_predictor = warm_predictor
+        percent = int(round(fraction * 100))
+        if warm_cache and warm_predictor:
+            self.name = f"R$BP ({percent}%)"
+        elif warm_cache:
+            self.name = f"R$ ({percent}%)"
+        else:
+            self.name = "RBP"
+
+        self.log = SkipRegionLog()
+        self._cache_reconstructor: ReverseCacheReconstructor | None = None
+        self._branch_reconstructor: ReverseBranchReconstructor | None = None
+        self._table = table
+        #: Per-cluster cache-reconstruction statistics (diagnostics).
+        self.cache_stats_history: list[CacheReconstructionStats] = []
+
+    def bind(self, context: SimulationContext) -> None:
+        super().bind(context)
+        self.log = SkipRegionLog()
+        self.cache_stats_history = []
+        self._cache_reconstructor = ReverseCacheReconstructor(
+            context.hierarchy
+        )
+        self._branch_reconstructor = ReverseBranchReconstructor(
+            context.predictor, table=self._table,
+            infer_counters=self.infer_counters,
+        )
+
+    # -- skip region: cold execution + logging -------------------------------
+
+    def skip(self, count: int) -> None:
+        context = self.context
+        log = self.log
+        records_before = log.record_count()
+
+        mem_hook = log.make_mem_hook() if self.warm_cache else None
+        ifetch_hook = log.make_ifetch_hook() if self.warm_cache else None
+        branch_hook = log.make_branch_hook() if self.warm_predictor else None
+
+        executed = context.machine.run(
+            count,
+            mem_hook=mem_hook,
+            branch_hook=branch_hook,
+            ifetch_hook=ifetch_hook,
+            ifetch_block_bytes=context.hierarchy.l1i.config.line_bytes,
+        )
+        self.cost.functional_instructions += executed
+        self.cost.log_records += log.record_count() - records_before
+
+    # -- cluster boundary ------------------------------------------------------
+
+    def pre_cluster(self):
+        before = self._updates_now()
+        hook = None
+        if self.warm_cache:
+            stats = self._cache_reconstructor.reconstruct(
+                self.log, self.fraction
+            )
+            self.cache_stats_history.append(stats)
+        if self.warm_predictor:
+            self._branch_reconstructor.prepare(self.log, self.fraction)
+            self.cost.predictor_updates += (
+                self._branch_reconstructor.ras_entries_recovered
+            )
+            if self.on_demand:
+                hook = self._branch_reconstructor.make_hook()
+            else:
+                self._branch_reconstructor.drain()
+        self._charge_updates(before)
+        return hook
+
+    def finalize_pending(self) -> None:
+        """Drain the on-demand PHT walker (analysis support).
+
+        Finalised values are identical to what in-cluster probes would
+        reconstruct; only entries no probe would have touched gain
+        (equally inferred) values early.
+        """
+        if self.warm_predictor and self._branch_reconstructor is not None:
+            self._branch_reconstructor.drain()
+
+    def post_cluster(self) -> None:
+        if self.warm_predictor:
+            # On-demand counter writes happened during the hot cluster.
+            self.cost.predictor_updates += (
+                self._branch_reconstructor.counter_writes
+            )
+            self._branch_reconstructor.counter_writes = 0
+        self.log.clear()

@@ -1,0 +1,13 @@
+"""Functional (architectural-state) simulation."""
+
+from .memory import Memory, WORD_BYTES
+from .machine import FunctionalMachine, StepResult, Checkpoint, to_signed
+
+__all__ = [
+    "Memory",
+    "WORD_BYTES",
+    "FunctionalMachine",
+    "StepResult",
+    "Checkpoint",
+    "to_signed",
+]

@@ -1,0 +1,302 @@
+"""The functional simulator.
+
+The functional machine maintains architecturally correct state (registers,
+PC, memory) regardless of how instructions are timed.  It plays three roles
+in sampled simulation, mirroring the paper's §4:
+
+1. *Cold* simulation — fast-forwarding between clusters while keeping
+   architectural state correct.
+2. The execution engine underneath *warm* simulation — warm-up methods
+   attach hooks that observe memory references and branch outcomes.
+3. The oracle underneath *hot* simulation — the timing core single-steps
+   the functional machine and times each retired instruction.
+
+Performance notes: the dispatch in :meth:`FunctionalMachine.run` is a flat
+``if/elif`` chain on the opcode's integer value with all hot attributes
+hoisted into locals, because this is the innermost loop of every
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Opcode, Program, NUM_REGISTERS, LINK_REGISTER, STACK_POINTER
+from .memory import Memory
+
+_MASK64 = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+@dataclass
+class StepResult:
+    """Everything the timing simulator needs to know about one instruction.
+
+    A single instance is reused across steps to avoid per-instruction
+    allocation; consumers must copy any field they want to keep.
+    """
+
+    index: int = 0          # instruction index executed
+    next_index: int = 0     # architecturally correct next instruction index
+    taken: bool = False     # for control instructions: was it taken?
+    mem_address: int = -1   # effective byte address for LOAD/STORE, else -1
+    halted: bool = False
+
+
+@dataclass
+class Checkpoint:
+    """A full architectural snapshot (registers, PC, memory, counters)."""
+
+    pc: int
+    registers: list[int]
+    memory: Memory
+    instructions_retired: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class FunctionalMachine:
+    """Architectural-state interpreter for one :class:`Program`.
+
+    Parameters
+    ----------
+    program:
+        The workload image to execute.
+    memory:
+        Optional pre-initialised memory (workload generators seed arrays).
+    """
+
+    def __init__(self, program: Program, memory: Memory | None = None) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.registers: list[int] = [0] * NUM_REGISTERS
+        self.registers[STACK_POINTER] = program.stack_base
+        self.pc = program.entry
+        self.halted = False
+        self.instructions_retired = 0
+        self._step_result = StepResult()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Capture the full architectural state."""
+        return Checkpoint(
+            pc=self.pc,
+            registers=list(self.registers),
+            memory=self.memory.copy(),
+            instructions_retired=self.instructions_retired,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Restore state captured by :meth:`checkpoint`."""
+        self.pc = checkpoint.pc
+        self.registers = list(checkpoint.registers)
+        self.memory = checkpoint.memory.copy()
+        self.instructions_retired = checkpoint.instructions_retired
+        self.halted = False
+
+    # -- single stepping ------------------------------------------------------
+
+    def step(self) -> StepResult:
+        """Execute exactly one instruction; return its :class:`StepResult`.
+
+        The returned object is reused by subsequent calls.
+        """
+        result = self._step_result
+        if self.halted:
+            result.halted = True
+            return result
+
+        program = self.program
+        regs = self.registers
+        inst = program.instructions[self.pc]
+        op = inst.opcode
+        pc = self.pc
+        next_pc = pc + 1
+        taken = False
+        mem_address = -1
+
+        if op is Opcode.ADD:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] + regs[inst.rs2]) & _MASK64
+        elif op is Opcode.ADDI:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] + inst.imm) & _MASK64
+        elif op is Opcode.LOAD:
+            mem_address = (regs[inst.rs1] + inst.imm) & _MASK64
+            if inst.rd:
+                regs[inst.rd] = self.memory.load(mem_address)
+        elif op is Opcode.STORE:
+            mem_address = (regs[inst.rs1] + inst.imm) & _MASK64
+            self.memory.store(mem_address, regs[inst.rs2])
+        elif op is Opcode.BEQ:
+            taken = regs[inst.rs1] == regs[inst.rs2]
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BNE:
+            taken = regs[inst.rs1] != regs[inst.rs2]
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BLT:
+            taken = to_signed(regs[inst.rs1]) < to_signed(regs[inst.rs2])
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BGE:
+            taken = to_signed(regs[inst.rs1]) >= to_signed(regs[inst.rs2])
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.SUB:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] - regs[inst.rs2]) & _MASK64
+        elif op is Opcode.MUL:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] * regs[inst.rs2]) & _MASK64
+        elif op is Opcode.DIV:
+            if inst.rd:
+                divisor = regs[inst.rs2]
+                regs[inst.rd] = regs[inst.rs1] // divisor if divisor else 0
+        elif op is Opcode.AND:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2]
+        elif op is Opcode.OR:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2]
+        elif op is Opcode.XOR:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2]
+        elif op is Opcode.SLL:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] << (regs[inst.rs2] & 63)) & _MASK64
+        elif op is Opcode.SRL:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] >> (regs[inst.rs2] & 63)
+        elif op is Opcode.SLT:
+            if inst.rd:
+                regs[inst.rd] = int(
+                    to_signed(regs[inst.rs1]) < to_signed(regs[inst.rs2])
+                )
+        elif op is Opcode.ANDI:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] & (inst.imm & _MASK64)
+        elif op is Opcode.ORI:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] | (inst.imm & _MASK64)
+        elif op is Opcode.XORI:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] ^ (inst.imm & _MASK64)
+        elif op is Opcode.SLTI:
+            if inst.rd:
+                regs[inst.rd] = int(to_signed(regs[inst.rs1]) < inst.imm)
+        elif op is Opcode.SLLI:
+            if inst.rd:
+                regs[inst.rd] = (regs[inst.rs1] << (inst.imm & 63)) & _MASK64
+        elif op is Opcode.SRLI:
+            if inst.rd:
+                regs[inst.rd] = regs[inst.rs1] >> (inst.imm & 63)
+        elif op is Opcode.LI:
+            if inst.rd:
+                regs[inst.rd] = inst.imm & _MASK64
+        elif op is Opcode.JMP:
+            taken = True
+            next_pc = inst.target
+        elif op is Opcode.CALL:
+            taken = True
+            regs[LINK_REGISTER] = next_pc
+            next_pc = inst.target
+        elif op is Opcode.CALLR:
+            taken = True
+            regs[LINK_REGISTER] = next_pc
+            next_pc = regs[inst.rs1]
+        elif op is Opcode.RET:
+            taken = True
+            next_pc = regs[LINK_REGISTER]
+        elif op is Opcode.JR:
+            taken = True
+            next_pc = regs[inst.rs1]
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+            result.index = pc
+            result.next_index = pc
+            result.taken = False
+            result.mem_address = -1
+            result.halted = True
+            self.instructions_retired += 1
+            return result
+        else:  # pragma: no cover - all opcodes handled above
+            raise RuntimeError(f"unimplemented opcode {op!r}")
+
+        self.pc = next_pc
+        self.instructions_retired += 1
+        result.index = pc
+        result.next_index = next_pc
+        result.taken = taken
+        result.mem_address = mem_address
+        result.halted = False
+        return result
+
+    # -- bulk execution -------------------------------------------------------
+
+    def run(
+        self,
+        count: int,
+        mem_hook=None,
+        branch_hook=None,
+        ifetch_hook=None,
+        ifetch_block_bytes: int = 64,
+    ) -> int:
+        """Execute up to `count` instructions; return how many retired.
+
+        Parameters
+        ----------
+        count:
+            Maximum number of instructions to execute.
+        mem_hook:
+            Called as ``mem_hook(pc_index, next_pc_index, address, is_store)``
+            for every LOAD/STORE.
+        branch_hook:
+            Called as ``branch_hook(pc_index, next_pc_index, inst, taken)``
+            for every control-transfer instruction (conditional or not).
+        ifetch_hook:
+            Called as ``ifetch_hook(byte_address)`` whenever execution moves
+            to a different `ifetch_block_bytes`-sized code block.  Repeated
+            fetches within one block are filtered because they cannot change
+            cache state; see DESIGN.md §2.
+        """
+        executed = 0
+        step = self.step
+        program = self.program
+        instruction_bytes = program.instruction_bytes
+        code_base = program.code_base
+        per_block = max(1, ifetch_block_bytes // instruction_bytes)
+        last_fetch_block = -1
+
+        while executed < count and not self.halted:
+            pc_before = self.pc
+            if ifetch_hook is not None:
+                fetch_block = pc_before // per_block
+                if fetch_block != last_fetch_block:
+                    last_fetch_block = fetch_block
+                    ifetch_hook(code_base + pc_before * instruction_bytes)
+            result = step()
+            executed += 1
+            if result.halted:
+                break
+            if result.mem_address >= 0 and mem_hook is not None:
+                mem_hook(
+                    result.index, result.next_index,
+                    result.mem_address,
+                    program.instructions[result.index].is_store,
+                )
+            if branch_hook is not None:
+                inst = program.instructions[result.index]
+                if inst.is_control:
+                    branch_hook(
+                        result.index, result.next_index, inst, result.taken
+                    )
+        return executed

@@ -1,0 +1,47 @@
+"""Experiment harness: evaluation matrices and report formatting."""
+
+from .experiment import (
+    ExperimentScale,
+    SCALES,
+    scale_from_env,
+    MethodOutcome,
+    WorkloadExperiment,
+    true_run_for,
+    run_workload_experiment,
+    run_matrix,
+    average_over_workloads,
+)
+from .export import (
+    matrix_rows,
+    matrix_to_csv,
+    matrix_to_json,
+    save_matrix,
+)
+from .reporting import (
+    format_table,
+    format_table1,
+    format_method_summary,
+    format_per_workload,
+    format_speedups,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "scale_from_env",
+    "MethodOutcome",
+    "WorkloadExperiment",
+    "true_run_for",
+    "run_workload_experiment",
+    "run_matrix",
+    "average_over_workloads",
+    "matrix_rows",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "save_matrix",
+    "format_table",
+    "format_table1",
+    "format_method_summary",
+    "format_per_workload",
+    "format_speedups",
+]

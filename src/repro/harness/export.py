@@ -1,0 +1,74 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The plain-text formatters in :mod:`repro.harness.reporting` target
+humans; these exporters feed downstream tooling (plotting, regression
+tracking of the reproduction itself).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .experiment import WorkloadExperiment
+
+
+def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
+    """Flatten a (workload x method) grid into one dict per cell."""
+    rows: list[dict] = []
+    for workload_name, experiment in matrix.items():
+        for method_name, outcome in experiment.outcomes.items():
+            run = outcome.run
+            rows.append({
+                "workload": workload_name,
+                "method": method_name,
+                "true_ipc": experiment.true_ipc,
+                "estimated_ipc": run.estimate.mean,
+                "harmonic_ipc": run.extra.get("harmonic_mean_ipc"),
+                "std_error": run.estimate.std_error,
+                "relative_error": outcome.relative_error,
+                "ci_pass": outcome.passes_confidence,
+                "num_clusters": run.regimen.num_clusters,
+                "cluster_size": run.regimen.cluster_size,
+                "functional_instructions":
+                    run.cost.functional_instructions,
+                "hot_instructions": run.cost.hot_instructions,
+                "log_records": run.cost.log_records,
+                "cache_updates": run.cost.cache_updates,
+                "predictor_updates": run.cost.predictor_updates,
+                "work_units": run.cost.work_units(),
+                "wall_seconds": run.wall_seconds,
+            })
+    return rows
+
+
+def matrix_to_csv(matrix: dict[str, WorkloadExperiment]) -> str:
+    """Render a grid as CSV text (header + one row per cell)."""
+    rows = matrix_rows(matrix)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def matrix_to_json(matrix: dict[str, WorkloadExperiment],
+                   indent: int = 2) -> str:
+    """Render a grid as a JSON array of cell objects."""
+    return json.dumps(matrix_rows(matrix), indent=indent)
+
+
+def save_matrix(matrix: dict[str, WorkloadExperiment], path) -> None:
+    """Write a grid to `path`; format chosen by extension (.csv/.json)."""
+    path_text = str(path)
+    if path_text.endswith(".csv"):
+        payload = matrix_to_csv(matrix)
+    elif path_text.endswith(".json"):
+        payload = matrix_to_json(matrix)
+    else:
+        raise ValueError("path must end with .csv or .json")
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(payload)

@@ -1,0 +1,147 @@
+"""Plain-text report formatters for every paper table and figure.
+
+Each ``format_*`` function turns harness results into the same rows or
+series the paper reports, ready to print from a bench or example.
+"""
+
+from __future__ import annotations
+
+from .experiment import WorkloadExperiment, average_over_workloads
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[column]) for column, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[column]) for column, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_table1(matrix: dict[str, WorkloadExperiment]) -> str:
+    """Paper Table 1: true IPC and sampling regimen per workload."""
+    rows = []
+    for name, experiment in matrix.items():
+        regimen = next(
+            iter(experiment.outcomes.values())
+        ).run.regimen if experiment.outcomes else None
+        rows.append([
+            name,
+            f"{experiment.true_ipc:.4f}",
+            f"{experiment.true_run.instructions}",
+            f"{regimen.num_clusters}" if regimen else "-",
+            f"{regimen.cluster_size}" if regimen else "-",
+            f"{experiment.true_run.wall_seconds:.1f}s",
+        ])
+    return format_table(
+        ["workload", "true IPC", "instructions", "clusters",
+         "cluster size", "full-sim time"],
+        rows,
+        title="Table 1: true IPC and sampling regimen",
+    )
+
+
+def format_method_summary(matrix: dict[str, WorkloadExperiment],
+                          method_names: list[str],
+                          title: str) -> str:
+    """Average relative error + simulation cost per method (Figures 5-7)."""
+    rows = []
+    for method_name in method_names:
+        error, work, wall = average_over_workloads(matrix, method_name)
+        rows.append([
+            method_name,
+            f"{error * 100:.2f}%",
+            f"{work:,.0f}",
+            f"{wall:.2f}s",
+        ])
+    return format_table(
+        ["method", "avg rel. error", "avg work units", "avg wall time"],
+        rows,
+        title=title,
+    )
+
+
+def format_per_workload(matrix: dict[str, WorkloadExperiment],
+                        method_names: list[str],
+                        value: str = "error",
+                        title: str = "") -> str:
+    """Per-workload grid of one metric (Figure 8, appendix tables).
+
+    `value` is one of "error", "work", "wall", "ci", "ipc".
+    """
+    def cell(outcome) -> str:
+        if value == "error":
+            return f"{outcome.relative_error * 100:.2f}%"
+        if value == "work":
+            return f"{outcome.work_units:,.0f}"
+        if value == "wall":
+            return f"{outcome.wall_seconds:.2f}"
+        if value == "ci":
+            return "yes" if outcome.passes_confidence else "no"
+        if value == "ipc":
+            return f"{outcome.run.estimate.mean:.4f}"
+        raise ValueError(f"unknown value kind {value!r}")
+
+    headers = ["method"] + list(matrix) + ["AVG"]
+    rows = []
+    for method_name in method_names:
+        row = [method_name]
+        values = []
+        for experiment in matrix.values():
+            outcome = experiment.outcomes[method_name]
+            row.append(cell(outcome))
+            if value == "error":
+                values.append(outcome.relative_error)
+            elif value == "work":
+                values.append(outcome.work_units)
+            elif value == "wall":
+                values.append(outcome.wall_seconds)
+        if value == "error" and values:
+            row.append(f"{sum(values) / len(values) * 100:.2f}%")
+        elif value in ("work", "wall") and values:
+            row.append(f"{sum(values) / len(values):,.0f}")
+        else:
+            row.append("-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_speedups(matrix: dict[str, WorkloadExperiment],
+                    method_name: str, baseline: str = "S$BP",
+                    title: str = "") -> str:
+    """Per-workload speedup ratios of `method_name` over `baseline`."""
+    rows = []
+    ratios = []
+    wall_ratios = []
+    for name, experiment in matrix.items():
+        ratio = experiment.speedup(method_name, baseline)
+        wall_ratio = experiment.wall_speedup(method_name, baseline)
+        ratios.append(ratio)
+        wall_ratios.append(wall_ratio)
+        rows.append([name, f"{ratio:.2f}x", f"{wall_ratio:.2f}x"])
+    rows.append([
+        "AVG",
+        f"{sum(ratios) / len(ratios):.2f}x",
+        f"{sum(wall_ratios) / len(wall_ratios):.2f}x",
+    ])
+    return format_table(
+        ["workload", f"work speedup vs {baseline}",
+         f"wall speedup vs {baseline}"],
+        rows,
+        title=title or f"Speedup of {method_name} over {baseline}",
+    )

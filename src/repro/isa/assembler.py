@@ -1,0 +1,175 @@
+"""A small text assembler for the synthetic RISC ISA.
+
+Used by the examples and tests; the workload generators use the
+:class:`~repro.isa.builder.ProgramBuilder` API directly.
+
+Syntax
+------
+- One instruction or label per line; ``#`` starts a comment.
+- Labels end with ``:`` and may share a line with an instruction.
+- Registers are written ``r0``..``r31``; immediates are decimal or ``0x`` hex.
+- Directives: ``.entry <label>`` sets the program entry point,
+  ``.name <text>`` names the program.
+
+Example
+-------
+    .name countdown
+    .entry start
+    start:  li   r1, 10
+    loop:   addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+"""
+
+from __future__ import annotations
+
+from .builder import ProgramBuilder
+from .program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or semantic error in assembly text."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_REG_OPS = {"add", "sub", "mul", "div", "and", "or", "xor", "sll", "srl",
+            "slt"}
+_IMM_OPS = {"addi", "andi", "ori", "xori", "slti", "slli", "srli"}
+_BRANCH_OPS = {"beq", "bne", "blt", "bge"}
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    token = token.strip().rstrip(",")
+    if not token.startswith("r"):
+        raise AssemblyError(line_number, f"expected register, got {token!r}")
+    try:
+        value = int(token[1:])
+    except ValueError:
+        raise AssemblyError(line_number, f"bad register {token!r}") from None
+    if not 0 <= value <= 31:
+        raise AssemblyError(line_number, f"register {token!r} out of range")
+    return value
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    token = token.strip().rstrip(",")
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line_number, f"bad immediate {token!r}") from None
+
+
+def assemble(text: str) -> Program:
+    """Assemble `text` into a :class:`Program`."""
+    builder = ProgramBuilder()
+    name = "assembled"
+    entry_label: str | None = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            argument = parts[1].strip() if len(parts) > 1 else ""
+            if directive == ".name":
+                name = argument or name
+            elif directive == ".entry":
+                if not argument:
+                    raise AssemblyError(line_number, ".entry needs a label")
+                entry_label = argument
+            else:
+                raise AssemblyError(
+                    line_number, f"unknown directive {directive!r}"
+                )
+            continue
+
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label or " " in label:
+                raise AssemblyError(line_number, f"bad label {label!r}")
+            try:
+                builder.label(label)
+            except ValueError as exc:
+                raise AssemblyError(line_number, str(exc)) from None
+            line = rest.strip()
+        if not line:
+            continue
+
+        parts = line.replace(",", " ").split()
+        mnemonic, operands = parts[0].lower(), parts[1:]
+        _emit(builder, mnemonic, operands, line_number)
+
+    if entry_label is not None:
+        builder.entry(entry_label)
+    builder.name = name
+    try:
+        return builder.build()
+    except KeyError as exc:
+        raise AssemblyError(0, f"undefined label {exc.args[0]!r}") from None
+
+
+def _expect(operands: list[str], count: int, mnemonic: str,
+            line_number: int) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            line_number,
+            f"{mnemonic} expects {count} operands, got {len(operands)}",
+        )
+
+
+def _emit(builder: ProgramBuilder, mnemonic: str, operands: list[str],
+          line_number: int) -> None:
+    reg = lambda i: _parse_register(operands[i], line_number)  # noqa: E731
+    imm = lambda i: _parse_immediate(operands[i], line_number)  # noqa: E731
+
+    if mnemonic in _REG_OPS:
+        _expect(operands, 3, mnemonic, line_number)
+        method = getattr(
+            builder, mnemonic + "_" if mnemonic in ("and", "or") else mnemonic
+        )
+        method(reg(0), reg(1), reg(2))
+    elif mnemonic in _IMM_OPS:
+        _expect(operands, 3, mnemonic, line_number)
+        getattr(builder, mnemonic)(reg(0), reg(1), imm(2))
+    elif mnemonic == "li":
+        _expect(operands, 2, mnemonic, line_number)
+        builder.li(reg(0), imm(1))
+    elif mnemonic == "load":
+        _expect(operands, 3, mnemonic, line_number)
+        builder.load(reg(0), reg(1), imm(2))
+    elif mnemonic == "store":
+        _expect(operands, 3, mnemonic, line_number)
+        builder.store(reg(0), reg(1), imm(2))
+    elif mnemonic in _BRANCH_OPS:
+        _expect(operands, 3, mnemonic, line_number)
+        getattr(builder, mnemonic)(reg(0), reg(1), operands[2])
+    elif mnemonic == "jmp":
+        _expect(operands, 1, mnemonic, line_number)
+        builder.jmp(operands[0])
+    elif mnemonic == "jr":
+        _expect(operands, 1, mnemonic, line_number)
+        builder.jr(reg(0))
+    elif mnemonic == "call":
+        _expect(operands, 1, mnemonic, line_number)
+        builder.call(operands[0])
+    elif mnemonic == "callr":
+        _expect(operands, 1, mnemonic, line_number)
+        builder.callr(reg(0))
+    elif mnemonic == "ret":
+        _expect(operands, 0, mnemonic, line_number)
+        builder.ret()
+    elif mnemonic == "nop":
+        _expect(operands, 0, mnemonic, line_number)
+        builder.nop()
+    elif mnemonic == "halt":
+        _expect(operands, 0, mnemonic, line_number)
+        builder.halt()
+    else:
+        raise AssemblyError(line_number, f"unknown mnemonic {mnemonic!r}")

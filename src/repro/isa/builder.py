@@ -1,0 +1,216 @@
+"""Programmatic construction of :class:`~repro.isa.program.Program` objects.
+
+The workload generators build programs through this API rather than by
+emitting assembly text.  Labels may be referenced before they are defined;
+all references are resolved in :meth:`ProgramBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .program import (
+    Program,
+    DEFAULT_CODE_BASE,
+    DEFAULT_DATA_BASE,
+    DEFAULT_STACK_BASE,
+)
+
+
+class UndefinedLabelError(KeyError):
+    """A label was referenced but never defined before build()."""
+
+
+class ProgramBuilder:
+    """Incrementally assemble a program with forward label references.
+
+    Example
+    -------
+    >>> b = ProgramBuilder("demo")
+    >>> b.label("loop")
+    >>> b.addi(1, 1, 1)
+    >>> b.bne(1, 2, "loop")
+    >>> b.halt()
+    >>> program = b.build()
+    """
+
+    def __init__(
+        self,
+        name: str = "anonymous",
+        code_base: int = DEFAULT_CODE_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+        stack_base: int = DEFAULT_STACK_BASE,
+    ) -> None:
+        self.name = name
+        self.code_base = code_base
+        self.data_base = data_base
+        self.stack_base = stack_base
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+        self._entry_label: str | None = None
+
+    # -- label handling -----------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Define `name` at the current position and return it."""
+        if name in self._labels:
+            raise ValueError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def here(self) -> int:
+        """Index the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def entry(self, label: str) -> None:
+        """Set the program entry point to `label`."""
+        self._entry_label = label
+
+    def _target(self, where: int | str) -> int:
+        """Resolve `where` now if possible, else record a fixup."""
+        if isinstance(where, int):
+            return where
+        if where in self._labels:
+            return self._labels[where]
+        self._fixups.append((len(self._instructions), where))
+        return -1
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, instruction: Instruction) -> int:
+        """Append a pre-built instruction; return its index."""
+        self._instructions.append(instruction)
+        return len(self._instructions) - 1
+
+    def _emit(self, opcode: Opcode, rd=0, rs1=0, rs2=0, imm=0, target=-1) -> int:
+        return self.emit(Instruction(opcode, rd, rs1, rs2, imm, target))
+
+    def nop(self) -> int:
+        return self._emit(Opcode.NOP)
+
+    def halt(self) -> int:
+        return self._emit(Opcode.HALT)
+
+    # ALU register-register.
+    def add(self, rd, rs1, rs2):
+        return self._emit(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._emit(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._emit(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._emit(Opcode.DIV, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._emit(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._emit(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._emit(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._emit(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._emit(Opcode.SRL, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._emit(Opcode.SLT, rd, rs1, rs2)
+
+    # ALU register-immediate.
+    def addi(self, rd, rs1, imm):
+        return self._emit(Opcode.ADDI, rd, rs1, imm=imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._emit(Opcode.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._emit(Opcode.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._emit(Opcode.XORI, rd, rs1, imm=imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._emit(Opcode.SLTI, rd, rs1, imm=imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._emit(Opcode.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._emit(Opcode.SRLI, rd, rs1, imm=imm)
+
+    def li(self, rd, imm):
+        return self._emit(Opcode.LI, rd, imm=imm)
+
+    # Memory.
+    def load(self, rd, rs1, imm=0):
+        return self._emit(Opcode.LOAD, rd, rs1, imm=imm)
+
+    def store(self, rs2, rs1, imm=0):
+        """mem[rs1 + imm] <- rs2 (note operand order: value, base)."""
+        return self._emit(Opcode.STORE, rs1=rs1, rs2=rs2, imm=imm)
+
+    # Control flow.
+    def beq(self, rs1, rs2, where):
+        return self._emit(Opcode.BEQ, rs1=rs1, rs2=rs2,
+                          target=self._target(where))
+
+    def bne(self, rs1, rs2, where):
+        return self._emit(Opcode.BNE, rs1=rs1, rs2=rs2,
+                          target=self._target(where))
+
+    def blt(self, rs1, rs2, where):
+        return self._emit(Opcode.BLT, rs1=rs1, rs2=rs2,
+                          target=self._target(where))
+
+    def bge(self, rs1, rs2, where):
+        return self._emit(Opcode.BGE, rs1=rs1, rs2=rs2,
+                          target=self._target(where))
+
+    def jmp(self, where):
+        return self._emit(Opcode.JMP, target=self._target(where))
+
+    def jr(self, rs1):
+        return self._emit(Opcode.JR, rs1=rs1)
+
+    def call(self, where):
+        return self._emit(Opcode.CALL, target=self._target(where))
+
+    def callr(self, rs1):
+        return self._emit(Opcode.CALLR, rs1=rs1)
+
+    def ret(self):
+        return self._emit(Opcode.RET)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve fixups and return the finished :class:`Program`."""
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise UndefinedLabelError(label)
+            old = self._instructions[index]
+            self._instructions[index] = Instruction(
+                old.opcode, old.rd, old.rs1, old.rs2, old.imm,
+                self._labels[label],
+            )
+        entry = 0
+        if self._entry_label is not None:
+            if self._entry_label not in self._labels:
+                raise UndefinedLabelError(self._entry_label)
+            entry = self._labels[self._entry_label]
+        return Program(
+            self._instructions,
+            name=self.name,
+            entry=entry,
+            code_base=self.code_base,
+            data_base=self.data_base,
+            stack_base=self.stack_base,
+            labels=self._labels,
+        )

@@ -1,0 +1,91 @@
+"""Disassembler: render instructions and programs as assembly text.
+
+The inverse of :mod:`repro.isa.assembler`, used for debugging workload
+generators and inspecting reconstruction traces.  Round-trips through
+the assembler for every instruction kind (property-tested).
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .program import Program
+
+_REG_OPS = {
+    Opcode.ADD: "add", Opcode.SUB: "sub", Opcode.MUL: "mul",
+    Opcode.DIV: "div", Opcode.AND: "and", Opcode.OR: "or",
+    Opcode.XOR: "xor", Opcode.SLL: "sll", Opcode.SRL: "srl",
+    Opcode.SLT: "slt",
+}
+_IMM_OPS = {
+    Opcode.ADDI: "addi", Opcode.ANDI: "andi", Opcode.ORI: "ori",
+    Opcode.XORI: "xori", Opcode.SLTI: "slti", Opcode.SLLI: "slli",
+    Opcode.SRLI: "srli",
+}
+_BRANCH_OPS = {
+    Opcode.BEQ: "beq", Opcode.BNE: "bne", Opcode.BLT: "blt",
+    Opcode.BGE: "bge",
+}
+
+
+def format_instruction(inst: Instruction,
+                       target_label: str | None = None) -> str:
+    """One instruction as assembler-accepted text.
+
+    `target_label` substitutes a symbolic name for the numeric target of
+    control transfers (the assembler requires labels, so round-tripping
+    uses generated ones).
+    """
+    op = inst.opcode
+    if op in _REG_OPS:
+        return f"{_REG_OPS[op]} r{inst.rd}, r{inst.rs1}, r{inst.rs2}"
+    if op in _IMM_OPS:
+        return f"{_IMM_OPS[op]} r{inst.rd}, r{inst.rs1}, {inst.imm}"
+    if op is Opcode.LI:
+        return f"li r{inst.rd}, {inst.imm}"
+    if op is Opcode.LOAD:
+        return f"load r{inst.rd}, r{inst.rs1}, {inst.imm}"
+    if op is Opcode.STORE:
+        return f"store r{inst.rs2}, r{inst.rs1}, {inst.imm}"
+    if op in _BRANCH_OPS:
+        target = target_label or f"L{inst.target}"
+        return f"{_BRANCH_OPS[op]} r{inst.rs1}, r{inst.rs2}, {target}"
+    if op is Opcode.JMP:
+        return f"jmp {target_label or f'L{inst.target}'}"
+    if op is Opcode.CALL:
+        return f"call {target_label or f'L{inst.target}'}"
+    if op is Opcode.JR:
+        return f"jr r{inst.rs1}"
+    if op is Opcode.CALLR:
+        return f"callr r{inst.rs1}"
+    if op is Opcode.RET:
+        return "ret"
+    if op is Opcode.NOP:
+        return "nop"
+    if op is Opcode.HALT:
+        return "halt"
+    raise ValueError(f"unknown opcode {op!r}")  # pragma: no cover
+
+
+def disassemble(program: Program, start: int = 0,
+                end: int | None = None) -> str:
+    """A listing of `program` with generated labels at branch targets.
+
+    The output assembles back into an equivalent program (for the full
+    range; partial ranges are for human inspection only).
+    """
+    end = len(program) if end is None else min(end, len(program))
+    targets = {
+        inst.target
+        for inst in program.instructions
+        if inst.is_control and inst.target >= 0
+    }
+    lines = []
+    if start == 0 and program.entry != 0:
+        targets.add(program.entry)
+        lines.append(f".entry L{program.entry}")
+    for index in range(start, end):
+        label = f"L{index}:" if index in targets else ""
+        text = format_instruction(program.instructions[index])
+        lines.append(f"{label:8s}{text}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Instruction representation for the synthetic RISC ISA.
+
+Instructions are immutable once built.  Commonly consulted classification
+flags (is_load, is_cond_branch, ...) are computed once at construction time
+and stored as plain attributes so the simulators' inner loops never pay for
+enum lookups.
+"""
+
+from __future__ import annotations
+
+from .opcodes import (
+    Opcode,
+    is_alu,
+    is_conditional_branch,
+    is_control,
+    EXECUTION_LATENCY,
+)
+
+
+class Instruction:
+    """One decoded instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The operation to perform.
+    rd:
+        Destination register index (0 if unused).  Writes to r0 are ignored.
+    rs1, rs2:
+        Source register indices (0 if unused; r0 always reads zero).
+    imm:
+        Immediate operand (0 if unused).
+    target:
+        Resolved control-transfer target, as an *instruction index* into the
+        owning :class:`~repro.isa.program.Program` (-1 if unused).
+    """
+
+    __slots__ = (
+        "opcode", "rd", "rs1", "rs2", "imm", "target",
+        "is_load", "is_store", "is_mem",
+        "is_cond_branch", "is_control", "is_call", "is_ret",
+        "is_indirect", "is_alu", "latency",
+    )
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        target: int = -1,
+    ) -> None:
+        self.opcode = opcode
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+
+        self.is_load = opcode is Opcode.LOAD
+        self.is_store = opcode is Opcode.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.is_cond_branch = is_conditional_branch(opcode)
+        self.is_control = is_control(opcode)
+        self.is_call = opcode is Opcode.CALL or opcode is Opcode.CALLR
+        self.is_ret = opcode is Opcode.RET
+        self.is_indirect = opcode in (Opcode.JR, Opcode.CALLR, Opcode.RET)
+        self.is_alu = is_alu(opcode)
+        self.latency = EXECUTION_LATENCY[opcode]
+
+    def destination(self) -> int | None:
+        """Register written by this instruction, or None.
+
+        Writes to r0 are architectural no-ops and reported as None so the
+        timing model never creates a dependence on them.
+        """
+        if self.is_call:
+            return 31  # link register
+        if self.is_store or self.is_control or self.opcode is Opcode.NOP \
+                or self.opcode is Opcode.HALT:
+            return None
+        return self.rd if self.rd != 0 else None
+
+    def sources(self) -> tuple[int, ...]:
+        """Registers read by this instruction (r0 omitted)."""
+        op = self.opcode
+        regs: tuple[int, ...]
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+                  Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SLT,
+                  Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            regs = (self.rs1, self.rs2)
+        elif op is Opcode.STORE:
+            regs = (self.rs1, self.rs2)
+        elif op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                    Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.LOAD,
+                    Opcode.JR, Opcode.CALLR):
+            regs = (self.rs1,)
+        elif op is Opcode.RET:
+            regs = (31,)
+        else:
+            regs = ()
+        return tuple(r for r in regs if r != 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Instruction({self.opcode.name}, rd={self.rd}, rs1={self.rs1}, "
+            f"rs2={self.rs2}, imm={self.imm}, target={self.target})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.opcode == other.opcode
+            and self.rd == other.rd
+            and self.rs1 == other.rs1
+            and self.rs2 == other.rs2
+            and self.imm == other.imm
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.opcode, self.rd, self.rs1, self.rs2, self.imm, self.target)
+        )

@@ -1,0 +1,13 @@
+"""Live-points: reusable warmed checkpoints for sampled simulation."""
+
+from .library import (
+    LivePoint,
+    LivePointLibrary,
+    LivePointReplayResult,
+)
+
+__all__ = [
+    "LivePoint",
+    "LivePointLibrary",
+    "LivePointReplayResult",
+]

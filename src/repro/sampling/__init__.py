@@ -1,0 +1,39 @@
+"""Statistical cluster sampling: regimens, estimators, controller."""
+
+from .regimen import SamplingRegimen
+from .statistics import (
+    SampleEstimate,
+    cluster_estimate,
+    relative_error,
+    Z_95,
+)
+from .design import (
+    RegimenRecommendation,
+    clusters_for_error,
+    pilot_study,
+    recommend_regimen,
+)
+from .controller import (
+    SampledSimulator,
+    SampledRunResult,
+    TrueRunResult,
+    SimulatorConfigs,
+    measure_true_ipc,
+)
+
+__all__ = [
+    "SamplingRegimen",
+    "SampleEstimate",
+    "cluster_estimate",
+    "relative_error",
+    "Z_95",
+    "RegimenRecommendation",
+    "clusters_for_error",
+    "pilot_study",
+    "recommend_regimen",
+    "SampledSimulator",
+    "SampledRunResult",
+    "TrueRunResult",
+    "SimulatorConfigs",
+    "measure_true_ipc",
+]

@@ -1,0 +1,207 @@
+"""The sampled-simulation controller: hot, cold, and warm phases.
+
+Execution follows the paper's Figure 1: for each cluster of the regimen,
+the controller (1) hands the inter-cluster gap to the warm-up method —
+which runs cold functional simulation plus whatever state repair it
+implements — and (2) runs the detailed timing simulator over the cluster,
+collecting its IPC as one sampling unit.  Cache and branch-predictor state
+flow continuously through the whole run; the architectural state is always
+exact because every skipped instruction is functionally executed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..branch import BranchPredictor, PredictorConfig, paper_predictor_config
+from ..cache import HierarchyConfig, MemoryHierarchy, paper_hierarchy_config
+from ..timing import CoreConfig, TimingSimulator, paper_core_config
+from ..warmup.base import SimulationContext, WarmupCost, WarmupMethod
+from ..workloads import Workload
+from .regimen import SamplingRegimen
+from .statistics import SampleEstimate, cluster_estimate, relative_error
+
+
+@dataclass
+class SampledRunResult:
+    """Everything measured from one (workload, warm-up method) run."""
+
+    workload_name: str
+    method_name: str
+    regimen: SamplingRegimen
+    cluster_ipcs: list[float]
+    estimate: SampleEstimate
+    cost: WarmupCost
+    wall_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    def relative_error(self, true_ipc: float) -> float:
+        return relative_error(true_ipc, self.estimate.mean)
+
+    def passes_confidence_test(self, true_ipc: float) -> bool:
+        return self.estimate.contains(true_ipc)
+
+    def work_units(self) -> float:
+        return self.cost.work_units()
+
+
+@dataclass
+class TrueRunResult:
+    """Full-trace detailed simulation (the paper's "true IPC" baseline)."""
+
+    workload_name: str
+    instructions: int
+    cycles: int
+    wall_seconds: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SimulatorConfigs:
+    """The microarchitecture under simulation (shared by all methods)."""
+
+    hierarchy: HierarchyConfig = field(default_factory=paper_hierarchy_config)
+    predictor: PredictorConfig = field(default_factory=paper_predictor_config)
+    core: CoreConfig = field(default_factory=paper_core_config)
+
+
+def steady_state_prefix(machine, hierarchy, predictor, count: int) -> None:
+    """Run `count` instructions with full functional warming.
+
+    Used to start measurement from steady state: the paper's 6-billion-
+    instruction populations make the initial cold-start region negligible,
+    but at laptop scale it would contaminate the true-IPC baseline.  Both
+    the full-trace run and every sampled run execute the same warmed
+    prefix before instruction 0 of the measured population, so all
+    simulators start from identical state (see DESIGN.md §2).
+    """
+    if count <= 0:
+        return
+    machine.run(
+        count,
+        mem_hook=lambda pc, np_, a, w: hierarchy.warm_access(a, w, False),
+        branch_hook=lambda pc, np_, inst, taken: predictor.update(
+            pc, inst, taken, np_),
+        ifetch_hook=lambda a: hierarchy.warm_access(a, False, True),
+        ifetch_block_bytes=hierarchy.l1i.config.line_bytes,
+    )
+
+
+class SampledSimulator:
+    """Runs one workload under a sampling regimen with a warm-up method.
+
+    The same regimen (hence the same uniformly random cluster starting
+    positions) is used for every method, holding sampling bias constant —
+    the comparison then isolates non-sampling bias, as in the paper.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        regimen: SamplingRegimen,
+        configs: SimulatorConfigs | None = None,
+        warmup_prefix: int = 0,
+        detail_ramp: int = 0,
+    ) -> None:
+        self.workload = workload
+        self.regimen = regimen
+        self.configs = configs if configs is not None else SimulatorConfigs()
+        self.warmup_prefix = warmup_prefix
+        #: SMARTS-style detailed warming: each cluster simulates this many
+        #: extra leading instructions in full detail but excludes them from
+        #: the measured IPC, hiding the empty-pipeline restart transient.
+        self.detail_ramp = detail_ramp
+
+    def run(self, method: WarmupMethod) -> SampledRunResult:
+        """Execute the full sampled simulation with `method`."""
+        configs = self.configs
+        machine = self.workload.make_machine()
+        hierarchy = MemoryHierarchy(configs.hierarchy)
+        predictor = BranchPredictor(configs.predictor)
+        timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
+        steady_state_prefix(machine, hierarchy, predictor,
+                            self.warmup_prefix)
+        context = SimulationContext(
+            machine=machine,
+            hierarchy=hierarchy,
+            predictor=predictor,
+            regimen=self.regimen,
+        )
+        method.bind(context)
+
+        cluster_size = self.regimen.cluster_size
+        detail_ramp = self.detail_ramp
+        cluster_ipcs: list[float] = []
+        position = 0
+        start_time = time.perf_counter()
+
+        for cluster_start in self.regimen.cluster_starts():
+            # The detailed ramp borrows its instructions from the end of
+            # the gap so cluster positions stay comparable across methods.
+            ramp = min(detail_ramp, max(0, cluster_start - position))
+            gap = cluster_start - position - ramp
+            if gap > 0:
+                method.skip(gap)
+            position = cluster_start - ramp
+            hook = method.pre_cluster()
+            result = timing.run(
+                cluster_size + ramp, pre_branch_hook=hook,
+                measure_after=ramp,
+            )
+            method.post_cluster()
+            position += result.instructions
+            method.cost.hot_instructions += result.instructions
+            cluster_ipcs.append(result.ipc)
+
+        wall_seconds = time.perf_counter() - start_time
+        # Diagnostic: the instruction-weighted (harmonic / CPI-based)
+        # estimate; the paper's estimator is the plain mean of cluster
+        # IPCs, which is what `estimate` reports.
+        harmonic = (
+            len(cluster_ipcs) / sum(1.0 / ipc for ipc in cluster_ipcs)
+            if all(ipc > 0 for ipc in cluster_ipcs) else 0.0
+        )
+        return SampledRunResult(
+            workload_name=self.workload.name,
+            method_name=method.name,
+            regimen=self.regimen,
+            cluster_ipcs=cluster_ipcs,
+            estimate=cluster_estimate(cluster_ipcs),
+            cost=method.cost,
+            wall_seconds=wall_seconds,
+            extra={"harmonic_mean_ipc": harmonic,
+                   "warmup_prefix": self.warmup_prefix},
+        )
+
+
+def measure_true_ipc(
+    workload: Workload,
+    total_instructions: int,
+    configs: SimulatorConfigs | None = None,
+    warmup_prefix: int = 0,
+) -> TrueRunResult:
+    """Detailed simulation of the full instruction stream (no sampling).
+
+    `warmup_prefix` functionally warms that many instructions before
+    measurement starts, so the baseline begins from the same steady state
+    as sampled runs constructed with the same prefix.
+    """
+    configs = configs if configs is not None else SimulatorConfigs()
+    machine = workload.make_machine()
+    hierarchy = MemoryHierarchy(configs.hierarchy)
+    predictor = BranchPredictor(configs.predictor)
+    timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
+    steady_state_prefix(machine, hierarchy, predictor, warmup_prefix)
+    start_time = time.perf_counter()
+    result = timing.run(total_instructions)
+    wall_seconds = time.perf_counter() - start_time
+    return TrueRunResult(
+        workload_name=workload.name,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,111 @@
+"""Sampling regimens: how many clusters, how large, where they land.
+
+A regimen "simply defines the number of clusters and the size of the
+clusters for a particular workload" (paper §1).  Cluster starting
+positions are drawn uniformly at random (paper §5) and — as in the paper —
+the *same* starting positions are reused for every warm-up method so the
+sampling bias is held constant and only non-sampling bias varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SamplingRegimen:
+    """A cluster-sampling design for one workload.
+
+    Attributes
+    ----------
+    total_instructions:
+        Population size: the instruction stream [0, total_instructions).
+    num_clusters:
+        Number of sampling units.
+    cluster_size:
+        Contiguous instructions per sampling unit.
+    seed:
+        Seed for the uniform placement of cluster starts.
+    """
+
+    total_instructions: int
+    num_clusters: int
+    cluster_size: int
+    seed: int = 12345
+    #: "uniform" draws cluster positions uniformly over the population
+    #: (the paper's design); "stratified" places one cluster at a random
+    #: offset inside each of `num_clusters` equal strata (paper §2's
+    #: stratified sampling — lower variance when IPC drifts slowly).
+    placement: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.total_instructions <= 0:
+            raise ValueError("total_instructions must be positive")
+        if self.num_clusters <= 0 or self.cluster_size <= 0:
+            raise ValueError("clusters and cluster size must be positive")
+        if self.num_clusters * self.cluster_size * 2 > self.total_instructions:
+            raise ValueError(
+                "sample too large: clusters must cover at most half of the "
+                "population for non-overlapping placement to be practical"
+            )
+        if self.placement not in ("uniform", "stratified"):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                "use 'uniform' or 'stratified'"
+            )
+
+    @property
+    def sampled_instructions(self) -> int:
+        """Instructions executed in detail (hot)."""
+        return self.num_clusters * self.cluster_size
+
+    @property
+    def sampling_fraction(self) -> float:
+        return self.sampled_instructions / self.total_instructions
+
+    def cluster_starts(self) -> list[int]:
+        """Random, non-overlapping, sorted cluster start offsets.
+
+        Uniform placement uses the classical spacing construction: draw
+        the free space between clusters from a uniform simplex, which
+        yields exact uniform placement of non-overlapping intervals.
+        Stratified placement draws one uniform offset per equal stratum.
+        """
+        if self.placement == "stratified":
+            return self._stratified_starts()
+        rng = np.random.default_rng(self.seed)
+        free = self.total_instructions - self.sampled_instructions
+        # num_clusters + 1 gaps (before first, between, after last) summing
+        # to `free`: order statistics of uniform draws give the split.
+        cuts = np.sort(rng.integers(0, free + 1, size=self.num_clusters))
+        starts = []
+        position = 0
+        previous_cut = 0
+        for cluster_index in range(self.num_clusters):
+            gap = int(cuts[cluster_index]) - previous_cut
+            previous_cut = int(cuts[cluster_index])
+            position += gap
+            starts.append(position)
+            position += self.cluster_size
+        return starts
+
+    def _stratified_starts(self) -> list[int]:
+        rng = np.random.default_rng(self.seed)
+        # The constructor guarantees total >= 2 * n * cluster_size, so a
+        # stratum is always at least twice the cluster size.
+        stratum_length = self.total_instructions // self.num_clusters
+        starts = []
+        for stratum in range(self.num_clusters):
+            slack = stratum_length - self.cluster_size
+            offset = int(rng.integers(0, slack + 1)) if slack else 0
+            starts.append(stratum * stratum_length + offset)
+        return starts
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_clusters} clusters x {self.cluster_size} "
+            f"instructions over {self.total_instructions} "
+            f"({100 * self.sampling_fraction:.2f}% sampled)"
+        )

@@ -1,0 +1,44 @@
+"""SimPoint: BBV profiling, k-means, and simulation-point selection."""
+
+from .bbv import BBVProfile, profile_bbv
+from .kmeans import (
+    KMeansResult,
+    kmeans,
+    random_projection,
+    bic_score,
+    choose_k,
+    DEFAULT_PROJECTED_DIMS,
+)
+from .simpoint import (
+    SimPoint,
+    SimPointSelection,
+    SimPointRunResult,
+    select_simpoints,
+    run_simpoints,
+)
+from .variance import (
+    VarianceSimPointSelection,
+    VarianceSimPointResult,
+    select_variance_simpoints,
+    run_variance_simpoints,
+)
+
+__all__ = [
+    "BBVProfile",
+    "profile_bbv",
+    "KMeansResult",
+    "kmeans",
+    "random_projection",
+    "bic_score",
+    "choose_k",
+    "DEFAULT_PROJECTED_DIMS",
+    "SimPoint",
+    "SimPointSelection",
+    "SimPointRunResult",
+    "select_simpoints",
+    "run_simpoints",
+    "VarianceSimPointSelection",
+    "VarianceSimPointResult",
+    "select_variance_simpoints",
+    "run_variance_simpoints",
+]

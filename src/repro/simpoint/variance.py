@@ -1,0 +1,174 @@
+"""Variance SimPoint: statistically valid simulation points.
+
+The paper (§2) notes that classic SimPoint's systematic selection defeats
+confidence-interval tests, and cites Variance SimPoint [Perelman et al.,
+PACT 2003] as the fix: "Such error bounds can be calculated if SimPoint
+selects clusters of execution at random."
+
+This module implements that variant: simulation points are intervals
+drawn uniformly at random (optionally stratified across k-means clusters
+so coverage of program phases is retained), each point carries equal
+weight, and the resulting per-point IPCs admit the same standard-error /
+confidence-interval machinery as cluster sampling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..branch import BranchPredictor
+from ..cache import MemoryHierarchy
+from ..sampling.controller import SimulatorConfigs
+from ..sampling.statistics import SampleEstimate, cluster_estimate
+from ..timing import TimingSimulator
+from ..warmup.base import SimulationContext, WarmupCost, WarmupMethod
+from ..warmup.none import NoWarmup
+from ..workloads import Workload
+from .bbv import profile_bbv
+from .kmeans import kmeans, random_projection
+
+
+@dataclass
+class VarianceSimPointSelection:
+    """Randomly drawn (optionally phase-stratified) simulation points."""
+
+    workload_name: str
+    interval_size: int
+    interval_indices: list[int]
+    stratified: bool
+
+    def starts(self) -> list[int]:
+        return sorted(
+            index * self.interval_size for index in self.interval_indices
+        )
+
+
+def select_variance_simpoints(
+    workload: Workload,
+    total_instructions: int,
+    interval_size: int,
+    num_points: int,
+    seed: int = 0,
+    stratify: bool = True,
+) -> VarianceSimPointSelection:
+    """Draw `num_points` interval indices at random.
+
+    With `stratify=True`, intervals are first clustered on their basic-
+    block vectors and points are drawn per cluster proportionally to
+    cluster size (at least one each), preserving SimPoint's phase
+    coverage while keeping the draw random within each stratum.
+    """
+    num_intervals = total_instructions // interval_size
+    if num_intervals <= 0:
+        raise ValueError("total smaller than one interval")
+    num_points = min(num_points, num_intervals)
+    rng = np.random.default_rng(seed)
+
+    if not stratify:
+        indices = rng.choice(num_intervals, size=num_points, replace=False)
+        return VarianceSimPointSelection(
+            workload_name=workload.name,
+            interval_size=interval_size,
+            interval_indices=[int(i) for i in indices],
+            stratified=False,
+        )
+
+    profile = profile_bbv(workload, total_instructions, interval_size)
+    projected = random_projection(profile.normalized(), seed=seed)
+    k = max(1, min(num_points // 2, num_intervals // 2))
+    clustering = kmeans(projected, k, seed=seed)
+
+    chosen: list[int] = []
+    clusters = [
+        np.flatnonzero(clustering.assignments == cluster)
+        for cluster in range(clustering.k)
+    ]
+    clusters = [members for members in clusters if len(members)]
+    # Proportional allocation, at least one draw per non-empty cluster.
+    remaining = num_points
+    allocations = []
+    for members in clusters:
+        share = max(1, round(num_points * len(members) / num_intervals))
+        allocations.append(share)
+    while sum(allocations) > num_points:
+        allocations[int(np.argmax(allocations))] -= 1
+    for members, allocation in zip(clusters, allocations):
+        allocation = min(allocation, len(members))
+        draw = rng.choice(members, size=allocation, replace=False)
+        chosen.extend(int(index) for index in draw)
+    return VarianceSimPointSelection(
+        workload_name=workload.name,
+        interval_size=interval_size,
+        interval_indices=chosen,
+        stratified=True,
+    )
+
+
+@dataclass
+class VarianceSimPointResult:
+    """IPC estimate with error bounds (unlike classic SimPoint)."""
+
+    workload_name: str
+    interval_size: int
+    point_ipcs: list[float]
+    estimate: SampleEstimate
+    cost: WarmupCost
+    wall_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.estimate.mean
+
+    def relative_error(self, true_ipc: float) -> float:
+        return abs(true_ipc - self.ipc) / abs(true_ipc)
+
+    def passes_confidence_test(self, true_ipc: float) -> bool:
+        return self.estimate.contains(true_ipc)
+
+
+def run_variance_simpoints(
+    workload: Workload,
+    selection: VarianceSimPointSelection,
+    warmup: WarmupMethod | None = None,
+    configs: SimulatorConfigs | None = None,
+) -> VarianceSimPointResult:
+    """Simulate the randomly drawn points; estimate IPC with a 95% CI."""
+    configs = configs if configs is not None else SimulatorConfigs()
+    method = warmup if warmup is not None else NoWarmup()
+    machine = workload.make_machine()
+    hierarchy = MemoryHierarchy(configs.hierarchy)
+    predictor = BranchPredictor(configs.predictor)
+    timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
+    method.bind(SimulationContext(
+        machine=machine, hierarchy=hierarchy, predictor=predictor,
+    ))
+
+    point_ipcs: list[float] = []
+    position = 0
+    start_time = time.perf_counter()
+    for start in selection.starts():
+        gap = start - position
+        if gap > 0:
+            method.skip(gap)
+        position = start
+        hook = method.pre_cluster()
+        result = timing.run(selection.interval_size, pre_branch_hook=hook)
+        method.post_cluster()
+        position += result.instructions
+        method.cost.hot_instructions += result.instructions
+        point_ipcs.append(result.ipc)
+    wall_seconds = time.perf_counter() - start_time
+
+    return VarianceSimPointResult(
+        workload_name=workload.name,
+        interval_size=selection.interval_size,
+        point_ipcs=point_ipcs,
+        estimate=cluster_estimate(point_ipcs),
+        cost=method.cost,
+        wall_seconds=wall_seconds,
+        extra={"stratified": selection.stratified},
+    )

@@ -1,0 +1,15 @@
+"""Detailed (hot) timing simulation of the out-of-order core."""
+
+from .config import CoreConfig, paper_core_config
+from .core import TimingSimulator, TimingResult
+from .resources import BandwidthLimiter, FifoCapacity, PooledCapacity
+
+__all__ = [
+    "CoreConfig",
+    "paper_core_config",
+    "TimingSimulator",
+    "TimingResult",
+    "BandwidthLimiter",
+    "FifoCapacity",
+    "PooledCapacity",
+]

@@ -1,0 +1,143 @@
+"""Co-simulation validation (paper §4).
+
+"The functional simulator is used to validate the results of the timing
+simulator.  If the timing simulator attempts to commit a wrong value,
+the functional simulator will assert an error."
+
+Our timing model derives architectural state from the functional machine
+directly, so the classical commit-time check is recast as lockstep
+shadow execution: a second, independent functional machine executes the
+same program and the validator asserts that both machines retire the
+same instructions with the same architectural effects.  This catches
+exactly the class of bugs the paper's check targets — any divergence
+between what the timing pipeline believes executed and the architectural
+truth — and doubles as a regression harness for the interpreter itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..functional import FunctionalMachine
+from ..isa import NUM_REGISTERS
+
+
+class CosimDivergenceError(AssertionError):
+    """The two simulators disagreed about architectural state."""
+
+    def __init__(self, instruction_number: int, field: str,
+                 primary, shadow) -> None:
+        super().__init__(
+            f"co-simulation divergence at instruction "
+            f"{instruction_number}: {field} primary={primary!r} "
+            f"shadow={shadow!r}"
+        )
+        self.instruction_number = instruction_number
+        self.field = field
+
+
+@dataclass
+class CosimReport:
+    """Summary of one validated run."""
+
+    instructions_checked: int
+    register_checks: int
+    memory_checks: int
+
+    def __str__(self) -> str:
+        return (
+            f"cosim OK: {self.instructions_checked} instructions, "
+            f"{self.register_checks} register checks, "
+            f"{self.memory_checks} memory checks"
+        )
+
+
+class CosimValidator:
+    """Lockstep shadow execution against a primary functional machine.
+
+    Parameters
+    ----------
+    primary:
+        The machine under validation (typically the one the timing
+        simulator drives).
+    check_interval:
+        Full register-file comparison every N instructions (per-step
+        checks always compare PC and the executed instruction's
+        destination/memory effect).
+    """
+
+    def __init__(self, primary: FunctionalMachine,
+                 check_interval: int = 64) -> None:
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.primary = primary
+        self.shadow = FunctionalMachine(
+            primary.program, primary.memory.copy(),
+        )
+        self.shadow.pc = primary.pc
+        self.shadow.registers = list(primary.registers)
+        self.shadow.instructions_retired = primary.instructions_retired
+        self.check_interval = check_interval
+        self.register_checks = 0
+        self.memory_checks = 0
+
+    def step(self) -> None:
+        """Advance both machines one instruction and cross-check."""
+        primary = self.primary
+        shadow = self.shadow
+        count = primary.instructions_retired
+
+        primary_result = primary.step()
+        shadow_result = shadow.step()
+
+        if primary_result.index != shadow_result.index:
+            raise CosimDivergenceError(
+                count, "instruction index",
+                primary_result.index, shadow_result.index,
+            )
+        if primary.pc != shadow.pc:
+            raise CosimDivergenceError(count, "next pc",
+                                       primary.pc, shadow.pc)
+        if primary_result.mem_address != shadow_result.mem_address:
+            raise CosimDivergenceError(
+                count, "memory address",
+                primary_result.mem_address, shadow_result.mem_address,
+            )
+        if primary_result.mem_address >= 0:
+            self.memory_checks += 1
+            primary_word = primary.memory.load(primary_result.mem_address)
+            shadow_word = shadow.memory.load(shadow_result.mem_address)
+            if primary_word != shadow_word:
+                raise CosimDivergenceError(
+                    count, "memory word", primary_word, shadow_word,
+                )
+        if count % self.check_interval == 0:
+            self.register_checks += 1
+            for register in range(NUM_REGISTERS):
+                if primary.registers[register] != \
+                        shadow.registers[register]:
+                    raise CosimDivergenceError(
+                        count, f"r{register}",
+                        primary.registers[register],
+                        shadow.registers[register],
+                    )
+
+    def run(self, count: int) -> CosimReport:
+        """Validate `count` instructions of lockstep execution."""
+        executed = 0
+        while executed < count and not self.primary.halted:
+            self.step()
+            executed += 1
+        return CosimReport(
+            instructions_checked=executed,
+            register_checks=self.register_checks,
+            memory_checks=self.memory_checks,
+        )
+
+
+def validate_workload(workload, count: int = 50_000,
+                      check_interval: int = 64) -> CosimReport:
+    """Convenience wrapper: cosim-validate a workload from reset."""
+    machine = workload.make_machine()
+    validator = CosimValidator(machine, check_interval=check_interval)
+    return validator.run(count)

@@ -1,0 +1,109 @@
+"""Resource-constraint primitives used by the timing core.
+
+The timing model processes instructions in program order, assigning each a
+set of event times (fetch, dispatch, issue, complete, retire) constrained
+by bandwidth (instructions per cycle at each stage) and capacity (ROB,
+issue queue, LSQ, in-flight branches).  These helpers encapsulate the two
+constraint kinds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class BandwidthLimiter:
+    """At most `width` events per cycle; events are requested in
+    non-decreasing... no — arbitrary order is tolerated by re-requesting at
+    a later cycle until a slot is free.
+
+    `take(cycle)` returns the earliest cycle >= `cycle` with a free slot
+    and consumes that slot.  Because the model walks instructions in
+    program order, requests are almost always non-decreasing; the limiter
+    only tracks the current cycle's usage plus a short overflow horizon.
+    """
+
+    __slots__ = ("width", "_cycle", "_used")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._cycle = -1
+        self._used = 0
+
+    def take(self, cycle: int) -> int:
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 1
+            return cycle
+        # Same cycle as the previous request (program order guarantees we
+        # never go backwards past a full cycle boundary).
+        if cycle < self._cycle:
+            cycle = self._cycle
+        if self._used < self.width:
+            self._used += 1
+            return cycle
+        self._cycle = cycle + 1
+        self._used = 1
+        return cycle + 1
+
+    def reset(self) -> None:
+        self._cycle = -1
+        self._used = 0
+
+
+class FifoCapacity:
+    """Capacity constraint for a structure freed in program order (ROB).
+
+    `acquire(ready)` returns the earliest cycle >= `ready` at which a slot
+    is free; `release_at(cycle)` records when the acquired slot will free.
+    """
+
+    __slots__ = ("capacity", "_release_times")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._release_times: deque[int] = deque()
+
+    def acquire(self, ready: int) -> int:
+        if len(self._release_times) >= self.capacity:
+            oldest = self._release_times.popleft()
+            if oldest + 1 > ready:
+                ready = oldest + 1
+        return ready
+
+    def release_at(self, cycle: int) -> None:
+        self._release_times.append(cycle)
+
+    def occupancy(self) -> int:
+        return len(self._release_times)
+
+    def reset(self) -> None:
+        self._release_times.clear()
+
+
+class PooledCapacity:
+    """Capacity constraint for a structure freed out of order (IQ, LSQ,
+    branch checkpoints): the next free slot is the minimum release time."""
+
+    __slots__ = ("capacity", "_release_times")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._release_times: list[int] = []
+
+    def acquire(self, ready: int) -> int:
+        if len(self._release_times) >= self.capacity:
+            earliest = heapq.heappop(self._release_times)
+            if earliest + 1 > ready:
+                ready = earliest + 1
+        return ready
+
+    def release_at(self, cycle: int) -> None:
+        heapq.heappush(self._release_times, cycle)
+
+    def occupancy(self) -> int:
+        return len(self._release_times)
+
+    def reset(self) -> None:
+        self._release_times.clear()

@@ -1,0 +1,31 @@
+"""Warm-up methods: the interface, baselines, and the Table 2 suite."""
+
+from .base import WarmupMethod, WarmupCost, SimulationContext
+from .none import NoWarmup
+from .fixed_period import FixedPeriodWarmup, SmartsWarmup
+from .mrrl import MRRLWarmup, reuse_latency_percentile
+from .blrl import BLRLWarmup
+from .suite import (
+    paper_method_suite,
+    paper_method_names,
+    make_method,
+    PAPER_FRACTIONS,
+    REVERSE_FRACTIONS,
+)
+
+__all__ = [
+    "WarmupMethod",
+    "WarmupCost",
+    "SimulationContext",
+    "NoWarmup",
+    "FixedPeriodWarmup",
+    "SmartsWarmup",
+    "MRRLWarmup",
+    "BLRLWarmup",
+    "reuse_latency_percentile",
+    "paper_method_suite",
+    "paper_method_names",
+    "make_method",
+    "PAPER_FRACTIONS",
+    "REVERSE_FRACTIONS",
+]

@@ -1,0 +1,139 @@
+"""Warm-up method interface.
+
+A warm-up method owns the *skip region*: everything that happens between
+the end of one cluster and the start of the next.  It must keep
+architectural state correct (by functionally executing every skipped
+instruction) and may additionally repair microarchitectural state — that
+repair policy is what distinguishes the methods the paper compares.
+
+Lifecycle per sampled run::
+
+    method.bind(context)          # once, before the first cluster
+    for each cluster:
+        method.skip(count)        # cold (+ warm) execution of the gap
+        hook = method.pre_cluster()   # eager reconstruction, if any
+        <hot simulation of the cluster, with optional pre-branch hook>
+        method.post_cluster()     # discard per-gap data
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WarmupCost:
+    """Deterministic work accounting for one sampled run.
+
+    `cache_updates` and `predictor_updates` count state-changing
+    operations applied to microarchitectural structures during warm-up
+    (the cost SMARTS pays for every skipped reference and that RSR
+    avoids); `log_records` counts references buffered by logging methods;
+    `functional_instructions` counts skip-region instructions executed
+    (identical across methods by construction).
+    """
+
+    functional_instructions: int = 0
+    hot_instructions: int = 0
+    log_records: int = 0
+    cache_updates: int = 0
+    predictor_updates: int = 0
+
+    #: Relative weights for the scalar work metric.  Functional execution
+    #: of one instruction is the unit; a detailed (hot) instruction costs
+    #: an order of magnitude more; log appends are cheaper than state
+    #: updates, matching the paper's observation that "reducing the total
+    #: number of updates ... results in faster simulation times".
+    WEIGHT_FUNCTIONAL = 1.0
+    WEIGHT_HOT = 12.0
+    WEIGHT_LOG = 0.5
+    WEIGHT_CACHE_UPDATE = 2.0
+    WEIGHT_PREDICTOR_UPDATE = 1.0
+
+    def work_units(self) -> float:
+        """Scalar simulation-work metric (see DESIGN.md §2)."""
+        return (
+            self.functional_instructions * self.WEIGHT_FUNCTIONAL
+            + self.hot_instructions * self.WEIGHT_HOT
+            + self.log_records * self.WEIGHT_LOG
+            + self.cache_updates * self.WEIGHT_CACHE_UPDATE
+            + self.predictor_updates * self.WEIGHT_PREDICTOR_UPDATE
+        )
+
+    def warm_updates(self) -> int:
+        return self.cache_updates + self.predictor_updates
+
+
+@dataclass
+class SimulationContext:
+    """Everything a warm-up method may touch during the skip region."""
+
+    machine: object      # FunctionalMachine
+    hierarchy: object    # MemoryHierarchy
+    predictor: object    # BranchPredictor
+    regimen: object = None
+
+    @property
+    def program(self):
+        return self.machine.program
+
+
+class WarmupMethod:
+    """Base class; concrete methods override :meth:`skip` and optionally
+    :meth:`pre_cluster` / :meth:`post_cluster`."""
+
+    #: Short identifier used in tables (paper Table 2 naming).
+    name = "abstract"
+    #: Does the method repair cache state?
+    warms_cache = False
+    #: Does the method repair branch-predictor state?
+    warms_predictor = False
+
+    def __init__(self) -> None:
+        self.context: SimulationContext | None = None
+        self.cost = WarmupCost()
+
+    def bind(self, context: SimulationContext) -> None:
+        """Attach to a fresh simulation; resets cost accounting."""
+        self.context = context
+        self.cost = WarmupCost()
+
+    # -- skip-region handling ------------------------------------------------
+
+    def skip(self, count: int) -> None:
+        """Advance the functional machine by `count` instructions."""
+        raise NotImplementedError
+
+    def pre_cluster(self):
+        """Eager state repair immediately before the next cluster.
+
+        Returns an optional ``hook(pc, inst)`` the timing simulator calls
+        before predicting each control transfer (used for on-demand
+        reconstruction), or None.
+        """
+        return None
+
+    def post_cluster(self) -> None:
+        """Discard any per-gap data (paper: logs are kept only for the
+        current skip region)."""
+
+    def finalize_pending(self) -> None:
+        """Force any lazily deferred state repair to complete now.
+
+        A no-op for eager methods.  Analysis tooling (state-fidelity
+        scoring) calls this at cluster entry so on-demand methods can be
+        compared on the state their probes *would* observe."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _updates_now(self) -> tuple[int, int]:
+        context = self.context
+        return context.hierarchy.total_updates(), context.predictor.total_updates()
+
+    def _charge_updates(self, before: tuple[int, int]) -> None:
+        cache_now, predictor_now = self._updates_now()
+        self.cost.cache_updates += cache_now - before[0]
+        self.cost.predictor_updates += predictor_now - before[1]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,22 @@
+"""No warm-up: pure cold simulation of the skip region.
+
+The caches and branch predictor are left stale — the state present after
+the previous cluster.  Cheapest possible skip, largest non-sampling bias
+(paper Figure 7: lowest time, highest error at ~23%).
+"""
+
+from __future__ import annotations
+
+from .base import WarmupMethod
+
+
+class NoWarmup(WarmupMethod):
+    """Paper Table 2 entry "None"."""
+
+    name = "None"
+    warms_cache = False
+    warms_predictor = False
+
+    def skip(self, count: int) -> None:
+        executed = self.context.machine.run(count)
+        self.cost.functional_instructions += executed

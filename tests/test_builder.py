@@ -1,0 +1,147 @@
+"""Unit tests for ProgramBuilder label resolution and emission."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder, UndefinedLabelError
+
+
+class TestLabels:
+    def test_backward_reference(self):
+        builder = ProgramBuilder()
+        builder.label("top")
+        builder.nop()
+        builder.jmp("top")
+        program = builder.build()
+        assert program.instructions[1].target == 0
+
+    def test_forward_reference(self):
+        builder = ProgramBuilder()
+        builder.jmp("end")
+        builder.nop()
+        builder.label("end")
+        builder.halt()
+        program = builder.build()
+        assert program.instructions[0].target == 2
+
+    def test_undefined_label_raises(self):
+        builder = ProgramBuilder()
+        builder.jmp("nowhere")
+        with pytest.raises(UndefinedLabelError):
+            builder.build()
+
+    def test_duplicate_label_raises(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        builder.nop()
+        with pytest.raises(ValueError):
+            builder.label("x")
+
+    def test_entry_label(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.label("start")
+        builder.halt()
+        builder.entry("start")
+        assert builder.build().entry == 1
+
+    def test_undefined_entry_raises(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.entry("missing")
+        with pytest.raises(UndefinedLabelError):
+            builder.build()
+
+    def test_numeric_target_used_directly(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.jmp(0)
+        assert builder.build().instructions[1].target == 0
+
+    def test_here_reports_next_index(self):
+        builder = ProgramBuilder()
+        assert builder.here() == 0
+        builder.nop()
+        assert builder.here() == 1
+
+
+class TestEmission:
+    def test_store_operand_order(self):
+        builder = ProgramBuilder()
+        builder.store(5, 7, 16)  # value r5 into mem[r7 + 16]
+        builder.halt()
+        inst = builder.build().instructions[0]
+        assert inst.opcode is Opcode.STORE
+        assert inst.rs2 == 5 and inst.rs1 == 7 and inst.imm == 16
+
+    def test_load_operands(self):
+        builder = ProgramBuilder()
+        builder.load(3, 8, -8)
+        builder.halt()
+        inst = builder.build().instructions[0]
+        assert inst.rd == 3 and inst.rs1 == 8 and inst.imm == -8
+
+    def test_all_alu_emitters(self):
+        builder = ProgramBuilder()
+        builder.add(1, 2, 3)
+        builder.sub(1, 2, 3)
+        builder.mul(1, 2, 3)
+        builder.div(1, 2, 3)
+        builder.and_(1, 2, 3)
+        builder.or_(1, 2, 3)
+        builder.xor(1, 2, 3)
+        builder.sll(1, 2, 3)
+        builder.srl(1, 2, 3)
+        builder.slt(1, 2, 3)
+        builder.halt()
+        ops = [inst.opcode for inst in builder.build().instructions[:-1]]
+        assert ops == [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                       Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL,
+                       Opcode.SRL, Opcode.SLT]
+
+    def test_all_immediate_emitters(self):
+        builder = ProgramBuilder()
+        builder.addi(1, 2, 3)
+        builder.andi(1, 2, 3)
+        builder.ori(1, 2, 3)
+        builder.xori(1, 2, 3)
+        builder.slti(1, 2, 3)
+        builder.slli(1, 2, 3)
+        builder.srli(1, 2, 3)
+        builder.li(1, 99)
+        builder.halt()
+        ops = [inst.opcode for inst in builder.build().instructions[:-1]]
+        assert ops == [Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                       Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.LI]
+
+    def test_control_emitters(self):
+        builder = ProgramBuilder()
+        builder.label("t")
+        builder.beq(1, 2, "t")
+        builder.bne(1, 2, "t")
+        builder.blt(1, 2, "t")
+        builder.bge(1, 2, "t")
+        builder.jmp("t")
+        builder.jr(5)
+        builder.call("t")
+        builder.callr(6)
+        builder.ret()
+        builder.halt()
+        ops = [inst.opcode for inst in builder.build().instructions[:-1]]
+        assert ops == [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                       Opcode.JMP, Opcode.JR, Opcode.CALL, Opcode.CALLR,
+                       Opcode.RET]
+
+    def test_emit_returns_index(self):
+        builder = ProgramBuilder()
+        assert builder.nop() == 0
+        assert builder.halt() == 1
+
+    def test_builder_metadata_propagates(self):
+        builder = ProgramBuilder("demo", code_base=0x100, data_base=0x200,
+                                 stack_base=0x300)
+        builder.halt()
+        program = builder.build()
+        assert program.name == "demo"
+        assert program.code_base == 0x100
+        assert program.data_base == 0x200
+        assert program.stack_base == 0x300

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_workloads_command(self):
+        args = build_parser().parse_args(["workloads"])
+        assert args.command == "workloads"
+
+    def test_true_ipc_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["true-ipc"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["true-ipc", "quake"])
+
+    def test_scale_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["true-ipc", "gcc", "--scale", "huge"])
+
+    def test_sample_collects_methods(self):
+        args = build_parser().parse_args(
+            ["sample", "gcc", "--method", "S$BP", "--method", "None"],
+        )
+        assert args.method == ["S$BP", "None"]
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_command(self):
+        args = build_parser().parse_args(
+            ["design", "mcf", "--target-error", "0.05"],
+        )
+        assert args.command == "design"
+        assert args.target_error == 0.05
+
+    def test_reproduce_command(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--output", "grid.csv"],
+        )
+        assert args.command == "reproduce"
+        assert args.output == "grid.csv"
+
+    def test_compare_command(self):
+        args = build_parser().parse_args(["compare", "art"])
+        assert args.command == "compare"
+
+
+class TestCommands:
+    def test_workloads_lists_all_nine(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ammp", "art", "gcc", "mcf", "parser", "perl",
+                     "twolf", "vortex", "vpr"):
+            assert name in out
+
+    def test_true_ipc_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["true-ipc", "ammp"]) == 0
+        out = capsys.readouterr().out
+        assert "true IPC" in out
+
+    def test_sample_default_methods(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["sample", "ammp"]) == 0
+        out = capsys.readouterr().out
+        assert "S$BP" in out
+        assert "R$BP (20%)" in out
+        assert "rel. error" in out
+
+    def test_sample_explicit_method(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["sample", "ammp", "--method", "None"]) == 0
+        out = capsys.readouterr().out
+        assert "None" in out
+        assert "S$BP" not in out.replace("true IPC", "")

@@ -1,0 +1,115 @@
+"""Unit tests for the sampled-simulation controller."""
+
+import pytest
+
+from repro.branch import PredictorConfig
+from repro.cache import paper_hierarchy_config
+from repro.sampling import (
+    SampledSimulator,
+    SamplingRegimen,
+    SimulatorConfigs,
+    measure_true_ipc,
+)
+from repro.timing import CoreConfig
+from repro.warmup import NoWarmup, SmartsWarmup
+from repro.core import ReverseStateReconstruction
+from repro.workloads import build_workload
+
+
+SMALL = SamplingRegimen(total_instructions=30_000, num_clusters=5,
+                        cluster_size=800, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("ammp")
+
+
+@pytest.fixture(scope="module")
+def simulator(workload):
+    return SampledSimulator(workload, SMALL)
+
+
+class TestSampledRun:
+    def test_cluster_count(self, simulator):
+        result = simulator.run(NoWarmup())
+        assert len(result.cluster_ipcs) == SMALL.num_clusters
+
+    def test_positive_ipcs(self, simulator):
+        result = simulator.run(NoWarmup())
+        assert all(ipc > 0 for ipc in result.cluster_ipcs)
+
+    def test_metadata(self, simulator, workload):
+        result = simulator.run(SmartsWarmup())
+        assert result.workload_name == workload.name
+        assert result.method_name == "S$BP"
+        assert result.regimen is SMALL
+        assert result.wall_seconds > 0
+
+    def test_cost_covers_population(self, simulator):
+        result = simulator.run(NoWarmup())
+        cost = result.cost
+        covered = cost.functional_instructions + cost.hot_instructions
+        last_start = SMALL.cluster_starts()[-1]
+        assert covered == last_start + SMALL.cluster_size
+
+    def test_deterministic_replay(self, simulator):
+        a = simulator.run(SmartsWarmup())
+        b = simulator.run(SmartsWarmup())
+        assert a.cluster_ipcs == b.cluster_ipcs
+
+    def test_methods_share_cluster_positions(self, simulator):
+        """Sampling bias is held constant: every method samples the same
+        clusters, so IPC differences isolate non-sampling bias."""
+        none_result = simulator.run(NoWarmup())
+        smarts_result = simulator.run(SmartsWarmup())
+        assert none_result.regimen.cluster_starts() == \
+            smarts_result.regimen.cluster_starts()
+
+    def test_rsr_runs_end_to_end(self, simulator):
+        result = simulator.run(ReverseStateReconstruction(0.4))
+        assert len(result.cluster_ipcs) == SMALL.num_clusters
+        assert result.cost.log_records > 0
+        assert result.cost.cache_updates > 0
+
+    def test_estimate_consistency(self, simulator):
+        result = simulator.run(NoWarmup())
+        assert result.estimate.mean == pytest.approx(
+            sum(result.cluster_ipcs) / len(result.cluster_ipcs)
+        )
+
+    def test_relative_error_and_confidence_api(self, simulator):
+        result = simulator.run(SmartsWarmup())
+        assert result.relative_error(result.estimate.mean) == 0.0
+        assert result.passes_confidence_test(result.estimate.mean)
+
+
+class TestTrueRun:
+    def test_measure_true_ipc(self, workload):
+        result = measure_true_ipc(workload, 20_000)
+        assert result.instructions == 20_000
+        assert 0 < result.ipc <= 4.0
+        assert result.workload_name == workload.name
+
+    def test_true_run_deterministic(self, workload):
+        a = measure_true_ipc(workload, 15_000)
+        b = measure_true_ipc(workload, 15_000)
+        assert a.cycles == b.cycles
+
+
+class TestConfigs:
+    def test_custom_configs_respected(self, workload):
+        configs = SimulatorConfigs(
+            hierarchy=paper_hierarchy_config(scale=32),
+            predictor=PredictorConfig(512, 128, 8),
+            core=CoreConfig(issue_width=1),
+        )
+        narrow = SampledSimulator(workload, SMALL, configs).run(NoWarmup())
+        wide = SampledSimulator(workload, SMALL).run(NoWarmup())
+        assert narrow.estimate.mean < wide.estimate.mean
+
+    def test_default_configs_are_paper_geometry(self):
+        configs = SimulatorConfigs()
+        assert configs.core.fetch_width == 8
+        assert configs.core.rob_entries == 64
+        assert configs.predictor.ras_entries == 8

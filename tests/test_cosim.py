@@ -1,0 +1,87 @@
+"""Tests for co-simulation validation (paper §4)."""
+
+import pytest
+
+from repro.functional import FunctionalMachine
+from repro.isa import ProgramBuilder
+from repro.timing.cosim import (
+    CosimDivergenceError,
+    CosimValidator,
+    validate_workload,
+)
+from repro.workloads import PAPER_WORKLOADS, build_workload
+
+
+class TestValidator:
+    def test_healthy_execution_validates(self):
+        report = validate_workload(build_workload("gcc"), count=20_000)
+        assert report.instructions_checked == 20_000
+        assert report.register_checks > 0
+        assert report.memory_checks > 0
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOADS)
+    def test_every_workload_passes_cosim(self, name):
+        report = validate_workload(build_workload(name), count=8_000)
+        assert report.instructions_checked == 8_000
+
+    def test_mid_stream_attachment(self):
+        machine = build_workload("vpr").make_machine()
+        machine.run(5_000)
+        validator = CosimValidator(machine)
+        report = validator.run(5_000)
+        assert report.instructions_checked == 5_000
+
+    def test_check_interval_validation(self):
+        machine = build_workload("vpr").make_machine()
+        with pytest.raises(ValueError):
+            CosimValidator(machine, check_interval=0)
+
+    def test_halt_stops_validation(self):
+        builder = ProgramBuilder()
+        builder.addi(1, 1, 1)
+        builder.halt()
+        machine = FunctionalMachine(builder.build())
+        report = CosimValidator(machine).run(100)
+        assert report.instructions_checked <= 2
+
+
+class TestDivergenceDetection:
+    def _validator(self):
+        machine = build_workload("twolf").make_machine()
+        machine.run(1_000)
+        return CosimValidator(machine, check_interval=1)
+
+    def test_register_corruption_detected(self):
+        validator = self._validator()
+        validator.run(10)
+        validator.primary.registers[5] ^= 0xDEADBEEF
+        with pytest.raises(CosimDivergenceError):
+            validator.run(200)
+
+    def test_pc_corruption_detected(self):
+        validator = self._validator()
+        validator.run(10)
+        validator.shadow.pc = validator.primary.pc  # keep aligned
+        validator.primary.pc += 1
+        with pytest.raises(CosimDivergenceError, match="instruction index"):
+            validator.run(5)
+
+    def test_memory_corruption_detected(self):
+        validator = self._validator()
+        validator.run(10)
+        # Corrupt the word the net-list chase will read next: r23 holds
+        # the current chain node, whose stored value is the next pointer.
+        node = validator.primary.registers[23]
+        validator.primary.memory.store(
+            node, validator.primary.memory.load(node) ^ 0x40,
+        )
+        with pytest.raises(CosimDivergenceError):
+            validator.run(5_000)
+
+    def test_error_reports_location(self):
+        validator = self._validator()
+        validator.primary.registers[7] += 1
+        with pytest.raises(CosimDivergenceError) as exc_info:
+            validator.run(200)
+        assert exc_info.value.instruction_number >= 0
+        assert exc_info.value.field

@@ -1,0 +1,179 @@
+"""Unit + property tests for the a-priori counter-inference table
+(paper §3.2, Figure 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import (
+    STRONG_NOT_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+    STRONG_TAKEN,
+    apply_history,
+)
+from repro.core.counter_table import (
+    CounterInferenceTable,
+    MAX_HISTORY,
+    default_table,
+    prepend_outcome,
+    resolve,
+    _infer,
+)
+
+
+def encode_reverse(outcomes_newest_first):
+    """Pack a reverse history into (length, bits): bit 0 = most recent."""
+    bits = 0
+    for position, taken in enumerate(outcomes_newest_first):
+        bits |= int(taken) << position
+    return len(outcomes_newest_first), bits
+
+
+@pytest.fixture(scope="module")
+def table():
+    return default_table()
+
+
+class TestFigure3Cases:
+    def test_three_taken_pins_strongly_taken(self, table):
+        # Case 1: last three outcomes taken -> counter is 3 regardless of
+        # the pre-history state.
+        inference = table.lookup(*encode_reverse([True, True, True]))
+        assert inference.exact
+        assert inference.value == STRONG_TAKEN
+
+    def test_three_not_taken_pins_strongly_not_taken(self, table):
+        inference = table.lookup(*encode_reverse([False, False, False]))
+        assert inference.exact
+        assert inference.value == STRONG_NOT_TAKEN
+
+    def test_pattern_anywhere_in_history_pins(self, table):
+        # Case 3: T T T deeper in the history, then newer outcomes applied
+        # on top, still pins exactly.
+        # Reverse history (newest first): N, T, T, T, T
+        inference = table.lookup(
+            *encode_reverse([False, True, True, True, True])
+        )
+        assert inference.exact
+        # Forward: T T T T (counter=3) then N -> 2.
+        assert inference.value == WEAK_TAKEN
+
+    def test_single_outcome_is_ambiguous(self, table):
+        inference = table.lookup(*encode_reverse([True]))
+        assert not inference.exact
+        assert len(inference.possible) == 3
+
+    def test_single_taken_predicts_middle_state(self, table):
+        # Possible states after one taken: {1, 2, 3}; middle -> 2.
+        inference = table.lookup(*encode_reverse([True]))
+        assert inference.value == WEAK_TAKEN
+
+    def test_single_not_taken_predicts_middle_state(self, table):
+        # Possible states after one not-taken: {0, 1, 2}; middle -> 1.
+        inference = table.lookup(*encode_reverse([False]))
+        assert inference.value == WEAK_NOT_TAKEN
+
+    def test_no_history_leaves_stale(self, table):
+        inference = table.lookup(0, 0)
+        assert inference.value is None
+        assert not inference.exact
+
+    def test_two_taken_leaves_taken_side_pair(self, table):
+        # T T forward from {0..3} -> {2, 3}; rule picks the weak form.
+        inference = table.lookup(*encode_reverse([True, True]))
+        assert not inference.exact
+        assert set(inference.possible) == {WEAK_TAKEN, STRONG_TAKEN}
+        assert inference.value == WEAK_TAKEN
+
+    def test_two_not_taken_leaves_not_taken_side_pair(self, table):
+        inference = table.lookup(*encode_reverse([False, False]))
+        assert set(inference.possible) == {STRONG_NOT_TAKEN, WEAK_NOT_TAKEN}
+        assert inference.value == WEAK_NOT_TAKEN
+
+
+class TestMechanics:
+    def test_prepend_outcome_composes(self):
+        identity = (0, 1, 2, 3)
+        one_taken = prepend_outcome(identity, True)
+        assert one_taken == (1, 2, 3, 3)
+        two_taken = prepend_outcome(one_taken, True)
+        assert two_taken == (2, 3, 3, 3)
+
+    def test_resolve_three_states_picks_middle(self):
+        inference = resolve(frozenset({0, 1, 2}), taken_count=0, length=1)
+        assert inference.value == 1
+
+    def test_resolve_straddling_pair_uses_bias(self):
+        taken_biased = resolve(frozenset({1, 2}), taken_count=3, length=4)
+        assert taken_biased.value == WEAK_TAKEN
+        not_taken_biased = resolve(frozenset({1, 2}), taken_count=1, length=4)
+        assert not_taken_biased.value == WEAK_NOT_TAKEN
+
+    def test_truncation_beyond_max_history(self, table):
+        long_bits = (1 << 40) - 1
+        inference = table.lookup(40, long_bits)
+        truncated = table.lookup(MAX_HISTORY, (1 << MAX_HISTORY) - 1)
+        assert inference == truncated
+
+    def test_table_size(self):
+        small = CounterInferenceTable(max_history=4)
+        assert len(small) == sum(2 ** k for k in range(5))
+
+    def test_max_history_validation(self):
+        with pytest.raises(ValueError):
+            CounterInferenceTable(max_history=0)
+
+    def test_default_table_is_shared(self):
+        assert default_table() is default_table()
+
+
+@given(st.lists(st.booleans(), min_size=0, max_size=MAX_HISTORY))
+@settings(max_examples=300, deadline=None)
+def test_table_matches_direct_inference(outcomes_newest_first):
+    length, bits = encode_reverse(outcomes_newest_first)
+    assert default_table().lookup(length, bits) == _infer(length, bits)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=MAX_HISTORY),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=300, deadline=None)
+def test_exact_inference_equals_forward_replay(forward_history, initial):
+    """Whenever the table claims exactness, the value must equal a forward
+    replay of the history from ANY initial counter state."""
+    reverse = list(reversed(forward_history))
+    length, bits = encode_reverse(reverse)
+    inference = default_table().lookup(length, bits)
+    replayed = apply_history(initial, forward_history)
+    if inference.exact:
+        assert inference.value == replayed
+    else:
+        assert replayed in inference.possible
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=MAX_HISTORY))
+@settings(max_examples=200, deadline=None)
+def test_possible_set_shrinks_with_more_history(outcomes_newest_first):
+    """Adding older outcomes can only narrow the possible-state set."""
+    table = default_table()
+    previous = None
+    for prefix_length in range(1, len(outcomes_newest_first) + 1):
+        length, bits = encode_reverse(outcomes_newest_first[:prefix_length])
+        current = set(table.lookup(length, bits).possible)
+        if previous is not None:
+            assert current <= previous
+        previous = current
+
+
+@given(st.lists(st.booleans(), min_size=3, max_size=MAX_HISTORY))
+@settings(max_examples=200, deadline=None)
+def test_three_consecutive_equal_outcomes_guarantee_exactness(history):
+    """If the forward history contains three equal consecutive outcomes,
+    the reverse inference must be exact."""
+    has_run = any(
+        history[i] == history[i + 1] == history[i + 2]
+        for i in range(len(history) - 2)
+    )
+    length, bits = encode_reverse(list(reversed(history)))
+    inference = default_table().lookup(length, bits)
+    if has_run:
+        assert inference.exact

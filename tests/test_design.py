@@ -1,0 +1,103 @@
+"""Tests for pilot-driven sampling-regimen design."""
+
+import math
+
+import pytest
+
+from repro.sampling import (
+    RegimenRecommendation,
+    SampledSimulator,
+    clusters_for_error,
+    pilot_study,
+    recommend_regimen,
+)
+from repro.sampling.statistics import Z_95
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+class TestClustersForError:
+    def test_formula(self):
+        # n = (1.96 * sigma / (eps * mu))^2, rounded up.
+        n = clusters_for_error(mean=1.0, std_dev=0.2,
+                               target_relative_error=0.05)
+        expected = math.ceil((Z_95 * 0.2 / 0.05) ** 2)
+        assert n == expected
+
+    def test_zero_variance_needs_one_cluster(self):
+        assert clusters_for_error(1.0, 0.0, 0.05) == 1
+
+    def test_tighter_target_needs_more_clusters(self):
+        loose = clusters_for_error(1.0, 0.2, 0.10)
+        tight = clusters_for_error(1.0, 0.2, 0.02)
+        assert tight > loose
+
+    def test_higher_variance_needs_more_clusters(self):
+        calm = clusters_for_error(1.0, 0.1, 0.05)
+        wild = clusters_for_error(1.0, 0.4, 0.05)
+        assert wild > calm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clusters_for_error(0.0, 0.1, 0.05)
+        with pytest.raises(ValueError):
+            clusters_for_error(1.0, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            clusters_for_error(1.0, 0.1, 1.5)
+
+
+class TestPilot:
+    def test_pilot_returns_plausible_statistics(self):
+        workload = build_workload("ammp")
+        mean, std_dev = pilot_study(
+            workload, 40_000, cluster_size=800, pilot_clusters=5,
+        )
+        assert 0 < mean <= 4.0
+        assert std_dev >= 0
+
+    def test_pilot_deterministic(self):
+        workload = build_workload("ammp")
+        first = pilot_study(workload, 40_000, 800, pilot_clusters=4)
+        second = pilot_study(workload, 40_000, 800, pilot_clusters=4)
+        assert first == second
+
+
+class TestRecommendation:
+    @pytest.fixture(scope="class")
+    def recommendation(self):
+        return recommend_regimen(
+            build_workload("vpr"), 80_000, cluster_size=800,
+            target_relative_error=0.05, pilot_clusters=6,
+        )
+
+    def test_fields(self, recommendation):
+        assert recommendation.workload_name == "vpr"
+        assert recommendation.recommended_clusters >= 1
+        assert recommendation.pilot_mean_ipc > 0
+
+    def test_capped_to_population(self, recommendation):
+        maximum = 80_000 // (2 * 800)
+        assert recommendation.recommended_clusters <= maximum
+
+    def test_predicted_bound(self, recommendation):
+        bound = recommendation.predicted_error_bound
+        expected = Z_95 * recommendation.pilot_std_dev / math.sqrt(
+            recommendation.recommended_clusters
+        )
+        assert bound == pytest.approx(expected)
+
+    def test_materialised_regimen_is_usable(self, recommendation):
+        regimen = recommendation.regimen(80_000, seed=5)
+        assert regimen.num_clusters == recommendation.recommended_clusters
+        workload = build_workload("vpr")
+        result = SampledSimulator(workload, regimen).run(SmartsWarmup())
+        assert len(result.cluster_ipcs) == regimen.num_clusters
+
+    def test_recommendation_hits_target_on_average(self, recommendation):
+        """Running the recommended design, the realised error bound should
+        be in the ballpark of the target (pilot sigma is itself noisy)."""
+        workload = build_workload("vpr")
+        regimen = recommendation.regimen(80_000, seed=11)
+        result = SampledSimulator(workload, regimen).run(SmartsWarmup())
+        realised = result.estimate.error_bound / result.estimate.mean
+        assert realised < 3 * recommendation.target_relative_error

@@ -1,0 +1,109 @@
+"""Tests for SMARTS-style detailed warming (measurement ramp)."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.functional import FunctionalMachine
+from repro.isa import ProgramBuilder
+from repro.sampling import SampledSimulator, SamplingRegimen
+from repro.timing import TimingSimulator, TimingResult
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+def alu_loop_simulator():
+    builder = ProgramBuilder()
+    builder.label("top")
+    for reg in range(1, 9):
+        builder.addi(reg, reg, 1)
+    builder.jmp("top")
+    machine = FunctionalMachine(builder.build())
+    hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=16))
+    predictor = BranchPredictor(PredictorConfig(1024, 256, 8))
+    return TimingSimulator(machine, hierarchy, predictor)
+
+
+class TestTimingResultWindows:
+    def test_default_measures_everything(self):
+        result = TimingResult(instructions=100, cycles=50)
+        assert result.measured_instructions == 100
+        assert result.measured_cycles == 50
+        assert result.ipc == 2.0
+
+    def test_explicit_window(self):
+        result = TimingResult(instructions=100, cycles=50,
+                              measured_instructions=80,
+                              measured_cycles=20)
+        assert result.ipc == 4.0
+
+    def test_zero_measured_cycles(self):
+        result = TimingResult(instructions=0, cycles=0)
+        assert result.ipc == 0.0
+
+
+class TestMeasureAfter:
+    def test_window_excludes_ramp(self):
+        sim = alu_loop_simulator()
+        result = sim.run(2_000, measure_after=500)
+        assert result.instructions == 2_000
+        assert result.measured_instructions == 1_500
+        assert 0 < result.measured_cycles < result.cycles
+
+    def test_ramp_hides_pipeline_fill(self):
+        cold = alu_loop_simulator().run(2_000)
+        warm = alu_loop_simulator().run(2_500, measure_after=500)
+        # Excluding the fill ramp yields equal or better measured IPC.
+        assert warm.ipc >= cold.ipc
+
+    def test_measure_after_zero_is_identity(self):
+        a = alu_loop_simulator().run(1_000)
+        b = alu_loop_simulator().run(1_000, measure_after=0)
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc
+
+    def test_halt_during_ramp_degrades_gracefully(self):
+        builder = ProgramBuilder()
+        builder.addi(1, 1, 1)
+        builder.halt()
+        machine = FunctionalMachine(builder.build())
+        sim = TimingSimulator(
+            machine,
+            MemoryHierarchy(paper_hierarchy_config(scale=16)),
+            BranchPredictor(PredictorConfig(1024, 256, 8)),
+        )
+        result = sim.run(1_000, measure_after=500)
+        # Run ended inside the ramp: fall back to whole-run measurement.
+        assert result.instructions == 2
+        assert result.measured_instructions == result.instructions
+
+
+class TestControllerRamp:
+    def test_ramp_preserves_population_coverage(self):
+        workload = build_workload("ammp")
+        regimen = SamplingRegimen(40_000, 5, 800, seed=2)
+        simulator = SampledSimulator(workload, regimen, detail_ramp=200)
+        result = simulator.run(SmartsWarmup())
+        cost = result.cost
+        covered = cost.functional_instructions + cost.hot_instructions
+        last_start = regimen.cluster_starts()[-1]
+        assert covered == last_start + regimen.cluster_size
+
+    def test_ramp_changes_only_measurement(self):
+        workload = build_workload("ammp")
+        regimen = SamplingRegimen(40_000, 5, 800, seed=2)
+        plain = SampledSimulator(workload, regimen).run(SmartsWarmup())
+        ramped = SampledSimulator(
+            workload, regimen, detail_ramp=200,
+        ).run(SmartsWarmup())
+        assert len(plain.cluster_ipcs) == len(ramped.cluster_ipcs)
+        # Ramped clusters simulate more instructions hot.
+        assert ramped.cost.hot_instructions > plain.cost.hot_instructions
+
+    def test_ramp_capped_by_gap(self):
+        workload = build_workload("ammp")
+        # First cluster may start near zero; ramp must not underflow.
+        regimen = SamplingRegimen(30_000, 6, 500, seed=0)
+        simulator = SampledSimulator(workload, regimen, detail_ramp=5_000)
+        result = simulator.run(SmartsWarmup())
+        assert len(result.cluster_ipcs) == 6

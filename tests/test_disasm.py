@@ -1,0 +1,126 @@
+"""Tests for the disassembler, including assemble/disassemble round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.functional import FunctionalMachine
+from repro.isa import (
+    Instruction,
+    Opcode,
+    ProgramBuilder,
+    assemble,
+    disassemble,
+    format_instruction,
+)
+
+
+class TestFormatInstruction:
+    @pytest.mark.parametrize("inst,expected", [
+        (Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3), "add r1, r2, r3"),
+        (Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-4), "addi r1, r2, -4"),
+        (Instruction(Opcode.LI, rd=5, imm=99), "li r5, 99"),
+        (Instruction(Opcode.LOAD, rd=1, rs1=2, imm=8), "load r1, r2, 8"),
+        (Instruction(Opcode.STORE, rs1=2, rs2=1, imm=8),
+         "store r1, r2, 8"),
+        (Instruction(Opcode.BNE, rs1=1, rs2=0, target=7),
+         "bne r1, r0, L7"),
+        (Instruction(Opcode.JMP, target=3), "jmp L3"),
+        (Instruction(Opcode.CALL, target=3), "call L3"),
+        (Instruction(Opcode.JR, rs1=4), "jr r4"),
+        (Instruction(Opcode.CALLR, rs1=4), "callr r4"),
+        (Instruction(Opcode.RET), "ret"),
+        (Instruction(Opcode.NOP), "nop"),
+        (Instruction(Opcode.HALT), "halt"),
+    ])
+    def test_rendering(self, inst, expected):
+        assert format_instruction(inst) == expected
+
+    def test_custom_label(self):
+        inst = Instruction(Opcode.JMP, target=9)
+        assert format_instruction(inst, target_label="loop") == "jmp loop"
+
+
+class TestDisassemble:
+    def _sample(self):
+        builder = ProgramBuilder()
+        builder.li(1, 10)
+        builder.label("top")
+        builder.addi(1, 1, -1)
+        builder.bne(1, 0, "top")
+        builder.halt()
+        return builder.build()
+
+    def test_labels_emitted_at_targets(self):
+        listing = disassemble(self._sample())
+        assert "L1:" in listing
+        assert "bne r1, r0, L1" in listing
+
+    def test_partial_range(self):
+        listing = disassemble(self._sample(), start=1, end=2)
+        assert listing.count("\n") == 0
+        assert "addi" in listing
+
+    def test_entry_directive_for_nonzero_entry(self):
+        builder = ProgramBuilder()
+        builder.label("fn")
+        builder.ret()
+        builder.label("main")
+        builder.call("fn")
+        builder.halt()
+        builder.entry("main")
+        listing = disassemble(builder.build())
+        assert ".entry L1" in listing
+
+    def test_roundtrip_preserves_semantics(self):
+        program = self._sample()
+        rebuilt = assemble(disassemble(program))
+        original = FunctionalMachine(program)
+        copy = FunctionalMachine(rebuilt)
+        original.run(100)
+        copy.run(100)
+        assert original.registers == copy.registers
+        assert original.halted and copy.halted
+
+
+@st.composite
+def random_instructions(draw):
+    kind = draw(st.sampled_from(["reg", "imm", "li", "mem", "misc"]))
+    reg = st.integers(min_value=0, max_value=31)
+    if kind == "reg":
+        op = draw(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL,
+                                   Opcode.AND, Opcode.OR, Opcode.XOR,
+                                   Opcode.SLT]))
+        return Instruction(op, rd=draw(reg), rs1=draw(reg), rs2=draw(reg))
+    if kind == "imm":
+        op = draw(st.sampled_from([Opcode.ADDI, Opcode.ANDI, Opcode.ORI,
+                                   Opcode.XORI, Opcode.SLTI]))
+        return Instruction(op, rd=draw(reg), rs1=draw(reg),
+                           imm=draw(st.integers(-1000, 1000)))
+    if kind == "li":
+        return Instruction(Opcode.LI, rd=draw(reg),
+                           imm=draw(st.integers(0, 1 << 32)))
+    if kind == "mem":
+        op = draw(st.sampled_from([Opcode.LOAD, Opcode.STORE]))
+        if op is Opcode.LOAD:
+            return Instruction(op, rd=draw(reg), rs1=draw(reg),
+                               imm=draw(st.integers(-64, 64)))
+        return Instruction(op, rs1=draw(reg), rs2=draw(reg),
+                           imm=draw(st.integers(-64, 64)))
+    op = draw(st.sampled_from([Opcode.NOP, Opcode.RET, Opcode.JR,
+                               Opcode.CALLR]))
+    if op in (Opcode.JR, Opcode.CALLR):
+        return Instruction(op, rs1=draw(reg))
+    return Instruction(op)
+
+
+@given(st.lists(random_instructions(), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_disassemble_assemble_roundtrip(instructions):
+    """Every non-control-flow-target instruction round-trips exactly."""
+    from repro.isa import Program
+    instructions = instructions + [Instruction(Opcode.HALT)]
+    program = Program(instructions)
+    rebuilt = assemble(disassemble(program))
+    assert len(rebuilt) == len(program)
+    for original, copy in zip(program.instructions, rebuilt.instructions):
+        assert original == copy

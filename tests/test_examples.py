@@ -1,0 +1,48 @@
+"""Smoke tests for the runnable examples.
+
+Every example must at least compile; the fast ones are executed end to
+end as subprocesses so their console workflow stays healthy.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {"quickstart.py", "warmup_comparison.py",
+            "simpoint_vs_sampling.py", "custom_workload.py",
+            "reconstruction_anatomy.py"} <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _run(path, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True, text=True, timeout=timeout, check=False,
+    )
+
+
+def test_reconstruction_anatomy_runs():
+    result = _run(EXAMPLES_DIR / "reconstruction_anatomy.py")
+    assert result.returncode == 0, result.stderr
+    assert "states identical: True" in result.stdout
+    assert "reconstructed RAS (top first): [51, 41]" in result.stdout
+
+
+def test_custom_workload_runs():
+    result = _run(EXAMPLES_DIR / "custom_workload.py")
+    assert result.returncode == 0, result.stderr
+    assert "true IPC" in result.stdout
+    assert "R$BP (20%)" in result.stdout

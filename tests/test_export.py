@@ -1,0 +1,82 @@
+"""Tests for CSV/JSON experiment export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import ReverseStateReconstruction
+from repro.harness import (
+    ExperimentScale,
+    matrix_rows,
+    matrix_to_csv,
+    matrix_to_json,
+    run_matrix,
+    save_matrix,
+)
+from repro.warmup import NoWarmup, SmartsWarmup
+
+
+TINY = ExperimentScale("tiny-export", total_instructions=24_000,
+                       num_clusters=4, cluster_size=600,
+                       warmup_prefix=4_000)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(
+        lambda: [NoWarmup(), SmartsWarmup(),
+                 ReverseStateReconstruction(0.2)],
+        workload_names=("ammp",),
+        scale=TINY,
+    )
+
+
+class TestRows:
+    def test_one_row_per_cell(self, matrix):
+        rows = matrix_rows(matrix)
+        assert len(rows) == 3
+        assert {row["method"] for row in rows} == \
+            {"None", "S$BP", "R$BP (20%)"}
+
+    def test_row_contents(self, matrix):
+        row = next(r for r in matrix_rows(matrix) if r["method"] == "S$BP")
+        assert row["workload"] == "ammp"
+        assert row["true_ipc"] > 0
+        assert row["estimated_ipc"] > 0
+        assert isinstance(row["ci_pass"], bool)
+        assert row["cache_updates"] > 0
+        assert row["work_units"] > 0
+
+
+class TestFormats:
+    def test_csv_parses_back(self, matrix):
+        text = matrix_to_csv(matrix)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 3
+        assert parsed[0]["workload"] == "ammp"
+
+    def test_json_parses_back(self, matrix):
+        payload = json.loads(matrix_to_json(matrix))
+        assert len(payload) == 3
+        assert all("relative_error" in row for row in payload)
+
+    def test_empty_matrix_csv(self):
+        assert matrix_to_csv({}) == ""
+
+
+class TestSave:
+    def test_save_csv(self, matrix, tmp_path):
+        path = tmp_path / "results.csv"
+        save_matrix(matrix, path)
+        assert path.read_text().startswith("workload,")
+
+    def test_save_json(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        save_matrix(matrix, path)
+        assert json.loads(path.read_text())
+
+    def test_unknown_extension_rejected(self, matrix, tmp_path):
+        with pytest.raises(ValueError):
+            save_matrix(matrix, tmp_path / "results.xml")

@@ -1,0 +1,94 @@
+"""Tests for state-level warm-up fidelity analysis."""
+
+import pytest
+
+from repro.analysis import measure_state_fidelity
+from repro.branch import paper_predictor_config
+from repro.cache import paper_hierarchy_config
+from repro.core import ReverseStateReconstruction
+from repro.sampling import SamplingRegimen, SimulatorConfigs
+from repro.warmup import NoWarmup, SmartsWarmup
+from repro.workloads import build_workload
+
+
+REGIMEN = SamplingRegimen(60_000, 6, 800, seed=4)
+
+
+def configs():
+    return SimulatorConfigs(
+        hierarchy=paper_hierarchy_config(scale=32),
+        predictor=paper_predictor_config(scale=32),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("vpr")
+
+
+@pytest.fixture(scope="module")
+def smarts_report(workload):
+    return measure_state_fidelity(
+        workload, REGIMEN, SmartsWarmup(), configs(), warmup_prefix=8_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def none_report(workload):
+    return measure_state_fidelity(
+        workload, REGIMEN, NoWarmup(), configs(), warmup_prefix=8_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def rsr_report(workload):
+    return measure_state_fidelity(
+        workload, REGIMEN, ReverseStateReconstruction(1.0), configs(),
+        warmup_prefix=8_000,
+    )
+
+
+class TestReportStructure:
+    def test_one_record_per_cluster(self, smarts_report):
+        assert len(smarts_report.records) == REGIMEN.num_clusters
+        for record in smarts_report.records:
+            assert 0.0 <= record.l1d_overlap <= 1.0
+            assert 0.0 <= record.counter_agreement <= 1.0
+
+    def test_summary_keys(self, smarts_report):
+        summary = smarts_report.summary()
+        assert set(summary) == {
+            "l1i_overlap", "l1d_overlap", "l2_overlap",
+            "counter_agreement", "prediction_agreement", "ghr_match",
+            "btb_agreement", "ras_top_match",
+        }
+
+    def test_empty_report_mean(self):
+        from repro.analysis import FidelityReport
+        assert FidelityReport("x", "y").mean("l1d_overlap") == 0.0
+
+
+class TestFidelityOrdering:
+    def test_smarts_is_self_consistent(self, smarts_report):
+        """SMARTS vs the SMARTS reference: identical state everywhere."""
+        assert smarts_report.mean("l1d_overlap") == pytest.approx(1.0)
+        assert smarts_report.mean("l2_overlap") == pytest.approx(1.0)
+        assert smarts_report.mean("counter_agreement") == pytest.approx(1.0)
+        assert smarts_report.mean("ghr_match") == pytest.approx(1.0)
+
+    def test_no_warmup_state_is_degraded(self, none_report):
+        assert none_report.mean("l1d_overlap") < 0.9
+        assert none_report.mean("counter_agreement") < 1.0
+
+    def test_rsr_beats_no_warmup_on_caches(self, none_report, rsr_report):
+        assert rsr_report.mean("l1d_overlap") > \
+            none_report.mean("l1d_overlap")
+        assert rsr_report.mean("l2_overlap") > \
+            none_report.mean("l2_overlap")
+
+    def test_rsr_recovers_ghr_exactly(self, rsr_report):
+        assert rsr_report.mean("ghr_match") == pytest.approx(1.0)
+
+    def test_rsr_prediction_agreement_high(self, rsr_report, none_report):
+        assert rsr_report.mean("prediction_agreement") >= \
+            none_report.mean("prediction_agreement")

@@ -1,0 +1,115 @@
+"""Unit tests for the Instruction representation."""
+
+from repro.isa import Instruction, Opcode
+
+
+class TestFlags:
+    def test_load_flags(self):
+        inst = Instruction(Opcode.LOAD, rd=1, rs1=2, imm=8)
+        assert inst.is_load and inst.is_mem
+        assert not inst.is_store and not inst.is_control
+
+    def test_store_flags(self):
+        inst = Instruction(Opcode.STORE, rs1=1, rs2=2)
+        assert inst.is_store and inst.is_mem
+        assert not inst.is_load
+
+    def test_conditional_branch_flags(self):
+        inst = Instruction(Opcode.BNE, rs1=1, rs2=2, target=0)
+        assert inst.is_cond_branch and inst.is_control
+        assert not inst.is_call and not inst.is_ret and not inst.is_indirect
+
+    def test_call_flags(self):
+        inst = Instruction(Opcode.CALL, target=5)
+        assert inst.is_call and inst.is_control
+        assert not inst.is_indirect
+
+    def test_indirect_call_flags(self):
+        inst = Instruction(Opcode.CALLR, rs1=4)
+        assert inst.is_call and inst.is_indirect
+
+    def test_ret_flags(self):
+        inst = Instruction(Opcode.RET)
+        assert inst.is_ret and inst.is_indirect and inst.is_control
+
+    def test_jr_is_indirect(self):
+        assert Instruction(Opcode.JR, rs1=3).is_indirect
+
+    def test_latency_copied_from_table(self):
+        assert Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3).latency == 3
+        assert Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).latency == 1
+
+
+class TestDestination:
+    def test_alu_destination(self):
+        assert Instruction(Opcode.ADD, rd=5, rs1=1, rs2=2).destination() == 5
+
+    def test_write_to_r0_is_discarded(self):
+        assert Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2).destination() is None
+
+    def test_store_has_no_destination(self):
+        assert Instruction(Opcode.STORE, rs1=1, rs2=2).destination() is None
+
+    def test_branch_has_no_destination(self):
+        assert Instruction(Opcode.BEQ, rs1=1, rs2=2, target=0).destination() \
+            is None
+
+    def test_call_writes_link_register(self):
+        assert Instruction(Opcode.CALL, target=0).destination() == 31
+        assert Instruction(Opcode.CALLR, rs1=2).destination() == 31
+
+    def test_load_destination(self):
+        assert Instruction(Opcode.LOAD, rd=7, rs1=1).destination() == 7
+
+    def test_nop_and_halt(self):
+        assert Instruction(Opcode.NOP).destination() is None
+        assert Instruction(Opcode.HALT).destination() is None
+
+
+class TestSources:
+    def test_three_operand_alu(self):
+        assert Instruction(Opcode.XOR, rd=1, rs1=2, rs2=3).sources() == (2, 3)
+
+    def test_immediate_alu(self):
+        assert Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5).sources() == (2,)
+
+    def test_store_reads_base_and_value(self):
+        assert Instruction(Opcode.STORE, rs1=4, rs2=9).sources() == (4, 9)
+
+    def test_load_reads_base(self):
+        assert Instruction(Opcode.LOAD, rd=1, rs1=4).sources() == (4,)
+
+    def test_r0_sources_filtered(self):
+        assert Instruction(Opcode.ADD, rd=1, rs1=0, rs2=0).sources() == ()
+
+    def test_ret_reads_link_register(self):
+        assert Instruction(Opcode.RET).sources() == (31,)
+
+    def test_li_has_no_sources(self):
+        assert Instruction(Opcode.LI, rd=1, imm=42).sources() == ()
+
+    def test_jmp_has_no_sources(self):
+        assert Instruction(Opcode.JMP, target=3).sources() == ()
+
+    def test_branch_sources(self):
+        assert Instruction(Opcode.BLT, rs1=5, rs2=6, target=0).sources() \
+            == (5, 6)
+
+
+class TestEquality:
+    def test_equal_instructions(self):
+        a = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        b = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_instructions(self):
+        a = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert a != Instruction(Opcode.SUB, rd=1, rs1=2, rs2=3)
+        assert a != Instruction(Opcode.ADD, rd=2, rs1=2, rs2=3)
+
+    def test_comparison_against_other_types(self):
+        assert Instruction(Opcode.NOP) != "nop"
+
+    def test_repr_contains_opcode(self):
+        assert "BNE" in repr(Instruction(Opcode.BNE, rs1=1, rs2=2, target=7))

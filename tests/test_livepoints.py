@@ -1,0 +1,143 @@
+"""Tests for the live-points checkpoint library (paper reference [18])."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig, paper_predictor_config
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.livepoints import LivePointLibrary
+from repro.sampling import (
+    SampledSimulator,
+    SamplingRegimen,
+    SimulatorConfigs,
+)
+from repro.timing import CoreConfig
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+REGIMEN = SamplingRegimen(60_000, 6, 800, seed=9)
+
+
+def configs():
+    return SimulatorConfigs(
+        hierarchy=paper_hierarchy_config(scale=32),
+        predictor=paper_predictor_config(scale=32),
+    )
+
+
+@pytest.fixture(scope="module")
+def library():
+    workload = build_workload("twolf")
+    return LivePointLibrary.generate(workload, REGIMEN, configs())
+
+
+class TestStateSnapshots:
+    def test_cache_roundtrip(self):
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        for address in range(0, 64 * 64, 64):
+            hierarchy.timed_access(address, False, False, 0)
+        state = hierarchy.export_state()
+        clone = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        clone.load_state(state)
+        for cache_name in ("l1i", "l1d", "l2"):
+            assert getattr(clone, cache_name).state_fingerprint() == \
+                getattr(hierarchy, cache_name).state_fingerprint()
+
+    def test_cache_geometry_mismatch_rejected(self):
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        state = hierarchy.export_state()
+        other = MemoryHierarchy(paper_hierarchy_config(scale=16))
+        with pytest.raises(ValueError):
+            other.load_state(state)
+
+    def test_snapshot_is_deep(self):
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        hierarchy.timed_access(0x1000, False, False, 0)
+        state = hierarchy.export_state()
+        fingerprint = hierarchy.l1d.state_fingerprint()
+        # Mutating the cache after export must not change the snapshot.
+        for address in range(0, 64 * 256, 64):
+            hierarchy.timed_access(address, False, False, 0)
+        clone = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        clone.load_state(state)
+        assert clone.l1d.state_fingerprint() == fingerprint
+
+    def test_predictor_roundtrip(self):
+        from repro.isa import Instruction, Opcode
+        predictor = BranchPredictor(PredictorConfig(256, 64, 8))
+        inst = Instruction(Opcode.BNE, rs1=1, rs2=2, target=50)
+        for _ in range(10):
+            predictor.update(5, inst, True, 50)
+        predictor.update(7, Instruction(Opcode.CALL, target=20), True, 20)
+        state = predictor.export_state()
+        clone = BranchPredictor(PredictorConfig(256, 64, 8))
+        clone.load_state(state)
+        assert clone.pht.counters == predictor.pht.counters
+        assert clone.pht.history == predictor.pht.history
+        assert clone.btb.tags == predictor.btb.tags
+        assert clone.ras.contents_from_top() == \
+            predictor.ras.contents_from_top()
+
+    def test_predictor_geometry_mismatch_rejected(self):
+        predictor = BranchPredictor(PredictorConfig(256, 64, 8))
+        state = predictor.export_state()
+        other = BranchPredictor(PredictorConfig(512, 64, 8))
+        with pytest.raises(ValueError):
+            other.load_state(state)
+
+
+class TestLibrary:
+    def test_generation_captures_all_points(self, library):
+        assert len(library) == REGIMEN.num_clusters
+        starts = [point.start_instruction for point in library.points]
+        assert starts == REGIMEN.cluster_starts()
+        assert library.generation_seconds > 0
+
+    def test_replay_matches_direct_sampled_simulation(self, library):
+        """Replaying live points must give the same cluster IPCs as a
+        SMARTS-warmed sampled simulation (the library stores exactly the
+        state that simulation would have at each cluster entry)."""
+        workload = build_workload("twolf")
+        direct = SampledSimulator(workload, REGIMEN, configs()).run(
+            SmartsWarmup()
+        )
+        replay = library.replay()
+        assert replay.cluster_ipcs == pytest.approx(
+            direct.cluster_ipcs, rel=1e-12,
+        )
+
+    def test_replay_is_much_faster_than_generation(self, library):
+        replay = library.replay()
+        assert replay.wall_seconds < library.generation_seconds
+
+    def test_replay_supports_core_sweeps(self, library):
+        wide = library.replay(CoreConfig(issue_width=4))
+        narrow = library.replay(CoreConfig(issue_width=1))
+        assert narrow.estimate.mean < wide.estimate.mean
+
+    def test_replays_are_independent(self, library):
+        first = library.replay()
+        second = library.replay()
+        assert first.cluster_ipcs == second.cluster_ipcs
+
+    def test_result_api(self, library):
+        replay = library.replay()
+        assert replay.workload_name == "twolf"
+        assert replay.passes_confidence_test(replay.estimate.mean)
+        assert replay.relative_error(replay.estimate.mean) == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, library, tmp_path):
+        path = tmp_path / "twolf.livepoints"
+        library.save(path)
+        loaded = LivePointLibrary.load(path)
+        assert len(loaded) == len(library)
+        assert loaded.replay().cluster_ipcs == library.replay().cluster_ipcs
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+        path = tmp_path / "bogus.pkl"
+        path.write_bytes(pickle.dumps({"not": "a library"}))
+        with pytest.raises(TypeError):
+            LivePointLibrary.load(path)

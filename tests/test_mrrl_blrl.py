@@ -1,0 +1,109 @@
+"""Unit tests for the MRRL and BLRL profile-driven warm-up baselines."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.sampling import SamplingRegimen
+from repro.warmup import (
+    BLRLWarmup,
+    MRRLWarmup,
+    SimulationContext,
+    reuse_latency_percentile,
+)
+from repro.workloads import build_workload
+
+
+def make_context(workload_name="twolf"):
+    workload = build_workload(workload_name)
+    return SimulationContext(
+        machine=workload.make_machine(),
+        hierarchy=MemoryHierarchy(paper_hierarchy_config(scale=16)),
+        predictor=BranchPredictor(PredictorConfig(1024, 256, 8)),
+        regimen=SamplingRegimen(100_000, 10, 1000),
+    )
+
+
+class TestReuseLatencyPercentile:
+    def test_empty(self):
+        assert reuse_latency_percentile([], 0.9) == 0
+
+    def test_full_percentile_is_max(self):
+        assert reuse_latency_percentile([5, 1, 9, 3], 1.0) == 9
+
+    def test_median(self):
+        assert reuse_latency_percentile([1, 2, 3, 4], 0.5) == 3
+
+    def test_low_percentile(self):
+        assert reuse_latency_percentile([10, 20, 30, 40], 0.25) == 20
+
+
+@pytest.mark.parametrize("method_class", [MRRLWarmup, BLRLWarmup])
+class TestProfiledWarmup:
+    def test_percentile_validation(self, method_class):
+        with pytest.raises(ValueError):
+            method_class(percentile=0.0)
+        with pytest.raises(ValueError):
+            method_class(percentile=1.2)
+
+    def test_name_includes_percentile(self, method_class):
+        assert "99%" in method_class(0.99).name
+
+    def test_profiling_preserves_architectural_state(self, method_class):
+        """The look-ahead pass must be invisible: after skip(n), the
+        machine state equals plain execution of n instructions."""
+        context = make_context()
+        method = method_class(0.9)
+        method.bind(context)
+        method.skip(3000)
+
+        plain = make_context()
+        plain.machine.run(3000)
+        assert context.machine.pc == plain.machine.pc
+        assert context.machine.registers == plain.machine.registers
+        assert context.machine.instructions_retired == \
+            plain.machine.instructions_retired
+
+    def test_window_recorded_and_bounded(self, method_class):
+        context = make_context()
+        method = method_class(0.9)
+        method.bind(context)
+        method.skip(3000)
+        assert len(method.window_history) == 1
+        assert 0 <= method.window_history[0] <= 3000
+
+    def test_warms_some_state(self, method_class):
+        context = make_context("vpr")
+        method = method_class(0.95)
+        method.bind(context)
+        method.skip(5000)
+        # vpr reuses lines across the boundary, so a window must open.
+        assert method.cost.cache_updates > 0
+
+
+class TestWindowSemantics:
+    def test_higher_percentile_never_shrinks_window(self):
+        windows = {}
+        for percentile in (0.5, 0.99):
+            context = make_context("vpr")
+            method = MRRLWarmup(percentile)
+            method.bind(context)
+            method.skip(5000)
+            windows[percentile] = method.window_history[0]
+        assert windows[0.99] >= windows[0.5]
+
+    def test_blrl_window_at_most_mrrl_window(self):
+        """BLRL considers only boundary-crossing reuses, a subset of the
+        reuses MRRL covers, so its window cannot be larger at the same
+        percentile."""
+        context = make_context("vpr")
+        mrrl = MRRLWarmup(0.95)
+        mrrl.bind(context)
+        mrrl.skip(5000)
+
+        context = make_context("vpr")
+        blrl = BLRLWarmup(0.95)
+        blrl.bind(context)
+        blrl.skip(5000)
+        assert blrl.window_history[0] <= 5000
+        assert mrrl.window_history[0] <= 5000

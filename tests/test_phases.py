@@ -1,0 +1,81 @@
+"""Tests for IPC phase profiling."""
+
+import pytest
+
+from repro.analysis import IPCProfile, measure_ipc_profile
+from repro.branch import paper_predictor_config
+from repro.cache import paper_hierarchy_config
+from repro.sampling import SimulatorConfigs
+from repro.workloads import build_workload
+
+
+def configs():
+    return SimulatorConfigs(
+        hierarchy=paper_hierarchy_config(scale=32),
+        predictor=paper_predictor_config(scale=32),
+    )
+
+
+class TestProfileObject:
+    def test_mean_and_cov(self):
+        profile = IPCProfile("x", 100, ipcs=[1.0, 2.0, 3.0])
+        assert profile.mean == pytest.approx(2.0)
+        assert profile.coefficient_of_variation > 0
+
+    def test_constant_profile_has_zero_cov(self):
+        profile = IPCProfile("x", 100, ipcs=[1.5] * 10)
+        assert profile.coefficient_of_variation == 0.0
+
+    def test_extremes(self):
+        profile = IPCProfile("x", 100, ipcs=[0.5, 0.1, 0.9, 0.4])
+        assert profile.extremes() == (1, 2)
+
+    def test_extremes_empty_raises(self):
+        with pytest.raises(ValueError):
+            IPCProfile("x", 100).extremes()
+
+    def test_sparkline_length_and_charset(self):
+        profile = IPCProfile("x", 100, ipcs=[float(i) for i in range(120)])
+        line = profile.sparkline(width=60)
+        assert 0 < len(line) <= 61
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_empty_sparkline(self):
+        assert IPCProfile("x", 100).sparkline() == ""
+
+
+class TestMeasurement:
+    def test_window_count(self):
+        profile = measure_ipc_profile(
+            build_workload("ammp"), 40_000, 2_000, configs(),
+        )
+        assert len(profile.ipcs) == 20
+        assert all(ipc > 0 for ipc in profile.ipcs)
+
+    def test_validation(self):
+        workload = build_workload("ammp")
+        with pytest.raises(ValueError):
+            measure_ipc_profile(workload, 1_000, 0)
+        with pytest.raises(ValueError):
+            measure_ipc_profile(workload, 500, 1_000)
+
+    def test_phased_workload_varies_more_than_flat(self):
+        flat = measure_ipc_profile(
+            build_workload("art"), 60_000, 2_000, configs(),
+            warmup_prefix=10_000,
+        )
+        phased = measure_ipc_profile(
+            build_workload("vpr"), 60_000, 2_000, configs(),
+            warmup_prefix=10_000,
+        )
+        # vpr alternates annealing/wire-sweep phases with very different
+        # IPCs; art streams steadily.
+        assert phased.coefficient_of_variation > \
+            flat.coefficient_of_variation
+
+    def test_deterministic(self):
+        a = measure_ipc_profile(build_workload("vpr"), 30_000, 1_500,
+                                configs())
+        b = measure_ipc_profile(build_workload("vpr"), 30_000, 1_500,
+                                configs())
+        assert a.ipcs == b.ipcs

@@ -1,0 +1,120 @@
+"""Unit tests for the combined branch predictor."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.isa import Instruction, Opcode
+
+
+@pytest.fixture
+def predictor():
+    return BranchPredictor(PredictorConfig(
+        pht_entries=256, btb_entries=64, ras_entries=8,
+    ))
+
+
+def cond(pc_target):
+    return Instruction(Opcode.BNE, rs1=1, rs2=2, target=pc_target)
+
+
+class TestConditionalPrediction:
+    def test_initially_predicts_fallthrough(self, predictor):
+        assert predictor.predict(10, cond(50)) == 11
+
+    def test_learns_taken_branch(self, predictor):
+        inst = cond(50)
+        for _ in range(4):
+            predictor.update(10, inst, True, 50)
+        # Re-point history at the trained pattern by replaying it.
+        # After consistent training, a biased branch predicts taken via
+        # some entry; check end-to-end through predict_and_update.
+        mispredicted = predictor.predict_and_update(10, inst, True, 50)
+        # With an all-taken history the counters along the path saturate.
+        assert predictor.stats.conditional_branches == 1
+
+    def test_predict_and_update_counts_mispredictions(self, predictor):
+        inst = cond(50)
+        assert predictor.predict_and_update(10, inst, True, 50)  # cold miss
+        assert predictor.stats.mispredictions == 1
+
+    def test_biased_branch_converges(self, predictor):
+        inst = cond(50)
+        mispredictions = 0
+        for _ in range(100):
+            if predictor.predict_and_update(10, inst, True, 50):
+                mispredictions += 1
+        # After warm-up the always-taken branch predicts correctly.
+        assert mispredictions < 10
+        assert predictor.stats.misprediction_rate() < 0.1
+
+    def test_not_taken_branch_needs_no_btb(self, predictor):
+        inst = cond(50)
+        for _ in range(5):
+            predictor.update(10, inst, False, 11)
+        assert not predictor.predict_and_update(10, inst, False, 11)
+
+
+class TestTargets:
+    def test_direct_jump_learns_target(self, predictor):
+        inst = Instruction(Opcode.JMP, target=99)
+        assert predictor.predict_and_update(5, inst, True, 99)  # BTB cold
+        assert not predictor.predict_and_update(5, inst, True, 99)
+
+    def test_indirect_jump_changing_target(self, predictor):
+        inst = Instruction(Opcode.JR, rs1=3)
+        predictor.predict_and_update(5, inst, True, 40)
+        assert predictor.predict(5, inst) == 40
+        predictor.predict_and_update(5, inst, True, 60)
+        assert predictor.predict(5, inst) == 60
+
+    def test_call_pushes_return_address(self, predictor):
+        call = Instruction(Opcode.CALL, target=100)
+        predictor.update(7, call, True, 100)
+        assert predictor.ras.peek() == 8
+
+    def test_ret_predicted_from_ras(self, predictor):
+        call = Instruction(Opcode.CALL, target=100)
+        ret = Instruction(Opcode.RET)
+        predictor.update(7, call, True, 100)
+        assert predictor.predict(105, ret) == 8
+        predictor.update(105, ret, True, 8)
+        assert predictor.ras.depth == 0
+
+    def test_nested_calls_predict_in_order(self, predictor):
+        call = Instruction(Opcode.CALL, target=50)
+        ret = Instruction(Opcode.RET)
+        predictor.update(10, call, True, 50)
+        predictor.update(52, call, True, 50)
+        assert predictor.predict(60, ret) == 53
+        predictor.update(60, ret, True, 53)
+        assert predictor.predict(61, ret) == 11
+
+    def test_empty_ras_predicts_fallthrough(self, predictor):
+        ret = Instruction(Opcode.RET)
+        assert predictor.predict(30, ret) == 31
+
+
+class TestAccounting:
+    def test_total_updates_counts_everything(self, predictor):
+        base = predictor.total_updates()
+        predictor.update(1, cond(9), True, 9)        # pht + btb
+        predictor.update(2, Instruction(Opcode.CALL, target=5), True, 5)
+        predictor.update(6, Instruction(Opcode.RET), True, 3)
+        assert predictor.total_updates() - base == 5
+
+    def test_reset(self, predictor):
+        predictor.predict_and_update(1, cond(9), True, 9)
+        predictor.reset()
+        assert predictor.stats.conditional_branches == 0
+        assert predictor.total_updates() == 0
+        assert predictor.pht.history == 0
+
+    def test_clear_reconstructed_clears_both_tables(self, predictor):
+        predictor.pht.reconstructed[1] = True
+        predictor.btb.reconstructed[1] = True
+        predictor.clear_reconstructed()
+        assert not any(predictor.pht.reconstructed)
+        assert not any(predictor.btb.reconstructed)
+
+    def test_repr(self, predictor):
+        assert "pht=256" in repr(predictor)

@@ -1,0 +1,67 @@
+"""Unit + property tests for sampling regimens."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import SamplingRegimen
+
+
+class TestValidation:
+    def test_positive_population(self):
+        with pytest.raises(ValueError):
+            SamplingRegimen(0, 1, 1)
+
+    def test_positive_clusters(self):
+        with pytest.raises(ValueError):
+            SamplingRegimen(1000, 0, 10)
+        with pytest.raises(ValueError):
+            SamplingRegimen(1000, 10, 0)
+
+    def test_sample_must_fit_in_half(self):
+        with pytest.raises(ValueError):
+            SamplingRegimen(1000, 10, 100)
+
+
+class TestProperties:
+    def test_sampled_instructions(self):
+        regimen = SamplingRegimen(100_000, 10, 1000)
+        assert regimen.sampled_instructions == 10_000
+        assert regimen.sampling_fraction == pytest.approx(0.1)
+
+    def test_describe(self):
+        text = SamplingRegimen(100_000, 10, 1000).describe()
+        assert "10 clusters" in text and "1000" in text
+
+
+class TestStarts:
+    def test_deterministic_for_same_seed(self):
+        a = SamplingRegimen(100_000, 10, 1000, seed=5)
+        b = SamplingRegimen(100_000, 10, 1000, seed=5)
+        assert a.cluster_starts() == b.cluster_starts()
+
+    def test_different_seeds_differ(self):
+        a = SamplingRegimen(100_000, 10, 1000, seed=5).cluster_starts()
+        b = SamplingRegimen(100_000, 10, 1000, seed=6).cluster_starts()
+        assert a != b
+
+    def test_count(self):
+        assert len(SamplingRegimen(100_000, 17, 500).cluster_starts()) == 17
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=200, deadline=None)
+def test_starts_are_sorted_disjoint_and_in_range(num_clusters, cluster_size,
+                                                 seed):
+    total = max(num_clusters * cluster_size * 2, 1000)
+    regimen = SamplingRegimen(total, num_clusters, cluster_size, seed=seed)
+    starts = regimen.cluster_starts()
+    assert len(starts) == num_clusters
+    previous_end = 0
+    for start in starts:
+        assert start >= previous_end          # non-overlapping
+        previous_end = start + cluster_size
+    assert previous_end <= total              # last cluster fits

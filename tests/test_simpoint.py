@@ -1,0 +1,116 @@
+"""Unit tests for the SimPoint pipeline: BBV profiling, selection, runs."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint import (
+    profile_bbv,
+    select_simpoints,
+    run_simpoints,
+)
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("art")
+
+
+@pytest.fixture(scope="module")
+def profile(workload):
+    return profile_bbv(workload, total_instructions=40_000,
+                       interval_size=2_000)
+
+
+class TestBBVProfile:
+    def test_interval_count(self, profile):
+        assert profile.num_intervals == 20
+        assert profile.instructions == 40_000
+
+    def test_vectors_account_for_all_instructions(self, profile):
+        # Each interval's weights sum to ~interval_size (boundary smear of
+        # at most one straight-line run).
+        sums = profile.vectors.sum(axis=1)
+        assert np.all(np.abs(sums - 2_000) < 100)
+
+    def test_normalised_rows_sum_to_one(self, profile):
+        norms = profile.normalized().sum(axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_nonzero_block_diversity(self, profile):
+        # More than one basic block is exercised per interval.
+        active = (profile.vectors > 0).sum(axis=1)
+        assert np.all(active > 3)
+
+    def test_phase_behaviour_visible(self, workload):
+        """art alternates phases; BBVs of different phases must differ."""
+        profile = profile_bbv(workload, 40_000, 2_000)
+        vectors = profile.normalized()
+        distances = np.linalg.norm(vectors - vectors[0], axis=1)
+        assert distances.max() > 0.05
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            profile_bbv(workload, 1_000, 0)
+        with pytest.raises(ValueError):
+            profile_bbv(workload, 100, 1_000)
+
+    def test_deterministic(self, workload):
+        a = profile_bbv(workload, 20_000, 2_000)
+        b = profile_bbv(workload, 20_000, 2_000)
+        assert np.array_equal(a.vectors, b.vectors)
+
+
+class TestSelection:
+    def test_selection_structure(self, workload):
+        selection = select_simpoints(workload, 40_000, 2_000, max_points=5)
+        assert 1 <= len(selection.points) <= 5
+        weights = [point.weight for point in selection.points]
+        assert sum(weights) == pytest.approx(1.0)
+        for point in selection.points:
+            assert 0 <= point.interval_index < 20
+
+    def test_starts_sorted(self, workload):
+        selection = select_simpoints(workload, 40_000, 2_000, max_points=5)
+        starts = selection.starts()
+        assert starts == sorted(starts)
+        for start, _weight in starts:
+            assert start % 2_000 == 0
+
+    def test_representatives_belong_to_their_cluster(self, workload):
+        selection = select_simpoints(workload, 40_000, 2_000, max_points=4)
+        for point in selection.points:
+            assert selection.clustering.assignments[point.interval_index] \
+                == point.cluster
+
+    def test_deterministic_selection(self, workload):
+        a = select_simpoints(workload, 40_000, 2_000, max_points=4, seed=1)
+        b = select_simpoints(workload, 40_000, 2_000, max_points=4, seed=1)
+        assert [p.interval_index for p in a.points] == \
+            [p.interval_index for p in b.points]
+
+
+class TestSimPointRuns:
+    def test_plain_run(self, workload):
+        selection = select_simpoints(workload, 30_000, 1_500, max_points=4)
+        result = run_simpoints(workload, selection)
+        assert len(result.point_ipcs) == len(selection.points)
+        assert result.ipc > 0
+        assert result.method_name == "SimPoint+None"
+
+    def test_warmed_run(self, workload):
+        selection = select_simpoints(workload, 30_000, 1_500, max_points=4)
+        result = run_simpoints(workload, selection, warmup=SmartsWarmup())
+        assert result.method_name == "SimPoint+S$BP"
+        assert result.cost.cache_updates > 0
+
+    def test_weighted_ipc_is_convex_combination(self, workload):
+        selection = select_simpoints(workload, 30_000, 1_500, max_points=4)
+        result = run_simpoints(workload, selection)
+        assert min(result.point_ipcs) <= result.ipc <= max(result.point_ipcs)
+
+    def test_relative_error_api(self, workload):
+        selection = select_simpoints(workload, 30_000, 1_500, max_points=3)
+        result = run_simpoints(workload, selection)
+        assert result.relative_error(result.ipc) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the steady-state warm-up prefix (DESIGN.md §2)."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.sampling import (
+    SampledSimulator,
+    SamplingRegimen,
+    measure_true_ipc,
+)
+from repro.sampling.controller import steady_state_prefix
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("vpr")
+
+
+class TestPrefixMechanics:
+    def test_prefix_advances_machine_and_warms_state(self, workload):
+        machine = workload.make_machine()
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        predictor = BranchPredictor(PredictorConfig(512, 128, 8))
+        steady_state_prefix(machine, hierarchy, predictor, 5_000)
+        assert machine.instructions_retired == 5_000
+        assert hierarchy.l1d.stats.accesses > 0
+        assert predictor.pht.updates > 0
+
+    def test_zero_prefix_is_noop(self, workload):
+        machine = workload.make_machine()
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        predictor = BranchPredictor(PredictorConfig(512, 128, 8))
+        steady_state_prefix(machine, hierarchy, predictor, 0)
+        assert machine.instructions_retired == 0
+        assert hierarchy.total_updates() == 0
+
+    def test_prefix_matches_smarts_skip_state(self, workload):
+        """The prefix is definitionally SMARTS warming, so both paths must
+        produce identical microarchitectural state."""
+        machine_a = workload.make_machine()
+        hierarchy_a = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        predictor_a = BranchPredictor(PredictorConfig(512, 128, 8))
+        steady_state_prefix(machine_a, hierarchy_a, predictor_a, 6_000)
+
+        from repro.warmup import SimulationContext
+        machine_b = workload.make_machine()
+        hierarchy_b = MemoryHierarchy(paper_hierarchy_config(scale=32))
+        predictor_b = BranchPredictor(PredictorConfig(512, 128, 8))
+        smarts = SmartsWarmup()
+        smarts.bind(SimulationContext(
+            machine=machine_b, hierarchy=hierarchy_b, predictor=predictor_b,
+        ))
+        smarts.skip(6_000)
+
+        assert hierarchy_a.l1d.state_fingerprint() == \
+            hierarchy_b.l1d.state_fingerprint()
+        assert hierarchy_a.l2.state_fingerprint() == \
+            hierarchy_b.l2.state_fingerprint()
+        assert predictor_a.pht.counters == predictor_b.pht.counters
+
+
+class TestPrefixEffect:
+    def test_measurement_excludes_prefix(self, workload):
+        result = measure_true_ipc(workload, 20_000, warmup_prefix=10_000)
+        assert result.instructions == 20_000
+
+    def test_prefixed_baseline_is_faster_than_cold(self, workload):
+        cold = measure_true_ipc(workload, 30_000)
+        warm = measure_true_ipc(workload, 30_000, warmup_prefix=30_000)
+        # Starting from steady state, the measured region avoids the
+        # compulsory-miss storm of a cold start.
+        assert warm.ipc > cold.ipc
+
+    def test_sampled_run_accepts_prefix(self, workload):
+        regimen = SamplingRegimen(30_000, 5, 800, seed=3)
+        simulator = SampledSimulator(workload, regimen, warmup_prefix=8_000)
+        result = simulator.run(SmartsWarmup())
+        assert result.extra["warmup_prefix"] == 8_000
+        assert len(result.cluster_ipcs) == 5
+
+    def test_prefix_reduces_smarts_bias(self, workload):
+        """With matched prefixes, the SMARTS estimate tracks the true IPC
+        more closely than a cold-started baseline comparison would."""
+        prefix = 30_000
+        true_warm = measure_true_ipc(workload, 60_000,
+                                     warmup_prefix=prefix)
+        regimen = SamplingRegimen(60_000, 10, 800, seed=3)
+        sampled = SampledSimulator(
+            workload, regimen, warmup_prefix=prefix,
+        ).run(SmartsWarmup())
+        # Ten clusters is a deliberately tiny sample; this only guards
+        # against gross divergence.
+        assert sampled.relative_error(true_warm.ipc) < 0.30

@@ -1,0 +1,93 @@
+"""Tests for stratified cluster placement (paper §2's stratified sampling)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import SampledSimulator, SamplingRegimen
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+class TestValidation:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            SamplingRegimen(100_000, 10, 1000, placement="quantum")
+
+    def test_strata_always_fit_cluster(self):
+        # The constructor's sample-size bound guarantees every stratum is
+        # at least twice the cluster size.
+        regimen = SamplingRegimen(100_000, 40, 1200,
+                                  placement="stratified")
+        starts = regimen.cluster_starts()
+        assert len(starts) == 40
+
+
+class TestStructure:
+    def test_one_cluster_per_stratum(self):
+        regimen = SamplingRegimen(100_000, 10, 1000,
+                                  placement="stratified")
+        starts = regimen.cluster_starts()
+        assert len(starts) == 10
+        for stratum, start in enumerate(starts):
+            assert stratum * 10_000 <= start <= (stratum + 1) * 10_000 - 1000
+
+    def test_deterministic(self):
+        a = SamplingRegimen(100_000, 10, 1000, seed=3,
+                            placement="stratified")
+        b = SamplingRegimen(100_000, 10, 1000, seed=3,
+                            placement="stratified")
+        assert a.cluster_starts() == b.cluster_starts()
+
+    def test_differs_from_uniform(self):
+        uniform = SamplingRegimen(100_000, 10, 1000, seed=3)
+        stratified = SamplingRegimen(100_000, 10, 1000, seed=3,
+                                     placement="stratified")
+        assert uniform.cluster_starts() != stratified.cluster_starts()
+
+
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=50, max_value=500),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=100, deadline=None)
+def test_stratified_starts_are_disjoint_and_in_range(num_clusters,
+                                                     cluster_size, seed):
+    total = num_clusters * cluster_size * 4
+    regimen = SamplingRegimen(total, num_clusters, cluster_size, seed=seed,
+                              placement="stratified")
+    starts = regimen.cluster_starts()
+    previous_end = 0
+    for start in starts:
+        assert start >= previous_end
+        previous_end = start + cluster_size
+    assert previous_end <= total
+
+
+class TestVarianceReduction:
+    def test_stratified_reduces_variance_under_linear_drift(self):
+        """The textbook property, demonstrated on a synthetic linearly
+        drifting metric: the sample-mean variance across placement seeds
+        is lower for stratified placement."""
+        total, clusters, size = 100_000, 10, 1000
+
+        def sample_mean(placement, seed):
+            regimen = SamplingRegimen(total, clusters, size, seed=seed,
+                                      placement=placement)
+            # Metric drifts linearly with position.
+            return statistics.mean(
+                start / total for start in regimen.cluster_starts()
+            )
+
+        spreads = {}
+        for placement in ("uniform", "stratified"):
+            means = [sample_mean(placement, seed) for seed in range(40)]
+            spreads[placement] = statistics.pstdev(means)
+        assert spreads["stratified"] < spreads["uniform"]
+
+    def test_stratified_runs_through_controller(self):
+        workload = build_workload("ammp")
+        regimen = SamplingRegimen(40_000, 5, 800, seed=1,
+                                  placement="stratified")
+        result = SampledSimulator(workload, regimen).run(SmartsWarmup())
+        assert len(result.cluster_ipcs) == 5

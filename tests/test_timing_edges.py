@@ -1,0 +1,121 @@
+"""Edge-case tests for the timing core's resource and control modelling."""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.functional import FunctionalMachine
+from repro.isa import ProgramBuilder
+from repro.timing import CoreConfig, TimingSimulator
+
+
+def build(emit, core=None, hierarchy_scale=16):
+    builder = ProgramBuilder()
+    emit(builder)
+    machine = FunctionalMachine(builder.build())
+    hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=hierarchy_scale))
+    predictor = BranchPredictor(PredictorConfig(1024, 256, 8))
+    return TimingSimulator(machine, hierarchy, predictor, core)
+
+
+def branchy_loop(b):
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.andi(2, 1, 3)
+    b.beq(2, 0, "skip")
+    b.addi(3, 3, 1)
+    b.label("skip")
+    b.jmp("top")
+
+
+class TestBranchCheckpoints:
+    def test_few_checkpoints_throttle_branchy_code(self):
+        many = build(branchy_loop, CoreConfig(max_inflight_branches=8))
+        few = build(branchy_loop, CoreConfig(max_inflight_branches=1))
+        assert few.run(4000).ipc <= many.run(4000).ipc
+
+
+class TestFrontEnd:
+    def test_taken_branches_break_fetch_groups(self):
+        # A tight taken loop fetches at most one iteration per cycle even
+        # with an 8-wide front end.
+        def tight(b):
+            b.label("top")
+            b.addi(1, 1, 1)
+            b.jmp("top")
+        result = build(tight).run(4000)
+        assert result.ipc <= 2.05  # 2 instructions per taken transfer
+
+    def test_icache_pressure_reduces_ipc(self):
+        # Straight-line code much larger than the L1I forces a fetch miss
+        # per block; a small loop fits entirely.
+        def huge_straight_line(b):
+            b.label("top")
+            for step in range(6000):
+                b.addi(1 + step % 8, 1 + step % 8, 1)
+            b.jmp("top")
+
+        def tiny_loop(b):
+            b.label("top")
+            for step in range(16):
+                b.addi(1 + step % 8, 1 + step % 8, 1)
+            b.jmp("top")
+
+        big = build(huge_straight_line, hierarchy_scale=64).run(6000)
+        small = build(tiny_loop, hierarchy_scale=64).run(6000)
+        assert big.ipc < small.ipc
+
+
+class TestLsq:
+    def test_store_heavy_code_respects_lsq(self):
+        def stores(b):
+            b.li(1, 0x10000)
+            b.label("top")
+            for offset in range(8):
+                b.store(2, 1, offset * 8)
+            b.jmp("top")
+        roomy = build(stores, CoreConfig(lsq_entries=64)).run(4000)
+        cramped = build(stores, CoreConfig(lsq_entries=2)).run(4000)
+        assert cramped.ipc <= roomy.ipc
+
+
+class TestFrequencyIndependentInvariants:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_ipc_bounded_by_retire_width(self, width):
+        def independent(b):
+            b.label("top")
+            for reg in range(1, 9):
+                b.addi(reg, reg, 1)
+            b.jmp("top")
+        core = CoreConfig(retire_width=width, issue_width=max(width, 1))
+        result = build(independent, core).run(3000)
+        assert result.ipc <= width + 1e-9
+
+    def test_cycles_monotone_in_memory_latency(self):
+        def loads(b):
+            b.li(1, 0x100000)
+            b.label("top")
+            b.load(2, 1, 0)
+            b.addi(1, 1, 4096)
+            b.jmp("top")
+        from repro.cache import HierarchyConfig
+        import dataclasses
+        fast_config = paper_hierarchy_config(scale=16)
+        slow_config = dataclasses.replace(fast_config, memory_latency=300)
+
+        def run_with(config):
+            builder = ProgramBuilder()
+            loads(builder)
+            machine = FunctionalMachine(builder.build())
+            sim = TimingSimulator(
+                machine, MemoryHierarchy(config),
+                BranchPredictor(PredictorConfig(1024, 256, 8)),
+            )
+            return sim.run(2000)
+
+        assert run_with(slow_config).cycles > run_with(fast_config).cycles
+
+    def test_deeper_frontend_never_faster(self):
+        shallow = build(branchy_loop, CoreConfig(frontend_depth=1)).run(4000)
+        deep = build(branchy_loop, CoreConfig(frontend_depth=5)).run(4000)
+        assert deep.cycles >= shallow.cycles

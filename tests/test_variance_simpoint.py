@@ -1,0 +1,87 @@
+"""Tests for the Variance SimPoint extension (random, CI-capable points)."""
+
+import pytest
+
+from repro.simpoint import (
+    run_variance_simpoints,
+    select_variance_simpoints,
+)
+from repro.warmup import SmartsWarmup
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("vpr")
+
+
+class TestSelection:
+    def test_random_selection_counts(self, workload):
+        selection = select_variance_simpoints(
+            workload, 40_000, 2_000, num_points=8, stratify=False,
+        )
+        assert len(selection.interval_indices) == 8
+        assert len(set(selection.interval_indices)) == 8  # no repeats
+        assert all(0 <= i < 20 for i in selection.interval_indices)
+
+    def test_stratified_selection(self, workload):
+        selection = select_variance_simpoints(
+            workload, 40_000, 2_000, num_points=8, stratify=True,
+        )
+        assert selection.stratified
+        assert 1 <= len(selection.interval_indices) <= 8
+
+    def test_points_capped_by_intervals(self, workload):
+        selection = select_variance_simpoints(
+            workload, 10_000, 2_000, num_points=50, stratify=False,
+        )
+        assert len(selection.interval_indices) == 5
+
+    def test_deterministic_for_seed(self, workload):
+        a = select_variance_simpoints(workload, 40_000, 2_000, 6, seed=4,
+                                      stratify=False)
+        b = select_variance_simpoints(workload, 40_000, 2_000, 6, seed=4,
+                                      stratify=False)
+        assert a.interval_indices == b.interval_indices
+
+    def test_starts_sorted_and_aligned(self, workload):
+        selection = select_variance_simpoints(
+            workload, 40_000, 2_000, num_points=6, stratify=False,
+        )
+        starts = selection.starts()
+        assert starts == sorted(starts)
+        assert all(start % 2_000 == 0 for start in starts)
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            select_variance_simpoints(workload, 100, 2_000, 4)
+
+
+class TestRun:
+    def test_estimate_with_confidence_interval(self, workload):
+        selection = select_variance_simpoints(
+            workload, 40_000, 1_500, num_points=6, stratify=False,
+        )
+        result = run_variance_simpoints(workload, selection)
+        assert len(result.point_ipcs) == 6
+        assert result.estimate.num_clusters == 6
+        # Unlike classic SimPoint, the estimate carries error bounds.
+        assert result.estimate.error_bound >= 0
+        assert result.passes_confidence_test(result.ipc)
+
+    def test_with_warmup(self, workload):
+        selection = select_variance_simpoints(
+            workload, 40_000, 1_500, num_points=5, stratify=False,
+        )
+        result = run_variance_simpoints(
+            workload, selection, warmup=SmartsWarmup(),
+        )
+        assert result.cost.cache_updates > 0
+        assert result.extra["stratified"] is False
+
+    def test_relative_error_api(self, workload):
+        selection = select_variance_simpoints(
+            workload, 30_000, 1_500, num_points=4, stratify=False,
+        )
+        result = run_variance_simpoints(workload, selection)
+        assert result.relative_error(result.ipc) == 0.0

@@ -1,0 +1,155 @@
+"""Unit tests for warm-up baselines: None, fixed period, SMARTS.
+
+Key invariant: after a skip region, SMARTS-warmed microarchitectural
+state must be identical to what continuous functional warming produces,
+because SMARTS *is* continuous functional warming.
+"""
+
+import pytest
+
+from repro.branch import BranchPredictor, PredictorConfig
+from repro.cache import MemoryHierarchy, paper_hierarchy_config
+from repro.warmup import (
+    NoWarmup,
+    FixedPeriodWarmup,
+    SmartsWarmup,
+    SimulationContext,
+)
+from repro.workloads import build_workload
+
+
+def make_context(workload_name="twolf"):
+    workload = build_workload(workload_name)
+    return SimulationContext(
+        machine=workload.make_machine(),
+        hierarchy=MemoryHierarchy(paper_hierarchy_config(scale=16)),
+        predictor=BranchPredictor(PredictorConfig(1024, 256, 8)),
+    )
+
+
+class TestNoWarmup:
+    def test_advances_machine_without_touching_state(self):
+        context = make_context()
+        method = NoWarmup()
+        method.bind(context)
+        method.skip(5000)
+        assert context.machine.instructions_retired == 5000
+        assert context.hierarchy.total_updates() == 0
+        assert context.predictor.total_updates() == 0
+        assert method.cost.functional_instructions == 5000
+
+    def test_flags(self):
+        method = NoWarmup()
+        assert not method.warms_cache
+        assert not method.warms_predictor
+        assert method.name == "None"
+
+    def test_pre_cluster_returns_no_hook(self):
+        method = NoWarmup()
+        method.bind(make_context())
+        assert method.pre_cluster() is None
+
+
+class TestFixedPeriod:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            FixedPeriodWarmup(0.0)
+        with pytest.raises(ValueError):
+            FixedPeriodWarmup(1.5)
+        with pytest.raises(ValueError):
+            FixedPeriodWarmup(0.5, warm_cache=False, warm_predictor=False)
+
+    def test_name_includes_percentage(self):
+        assert FixedPeriodWarmup(0.2).name == "FP (20%)"
+        assert FixedPeriodWarmup(0.8).name == "FP (80%)"
+
+    def test_warms_only_the_tail(self):
+        context = make_context()
+        method = FixedPeriodWarmup(0.5)
+        method.bind(context)
+        method.skip(4000)
+        full_context = make_context()
+        full = FixedPeriodWarmup(1.0)
+        full.bind(full_context)
+        full.skip(4000)
+        assert 0 < method.cost.cache_updates < full.cost.cache_updates
+        assert 0 < method.cost.predictor_updates < full.cost.predictor_updates
+
+    def test_architectural_state_matches_plain_execution(self):
+        warm_context = make_context()
+        method = FixedPeriodWarmup(0.5)
+        method.bind(warm_context)
+        method.skip(4000)
+        cold_context = make_context()
+        NoWarmup_method = NoWarmup()
+        NoWarmup_method.bind(cold_context)
+        NoWarmup_method.skip(4000)
+        assert warm_context.machine.pc == cold_context.machine.pc
+        assert warm_context.machine.registers == \
+            cold_context.machine.registers
+
+    def test_cache_only_variant(self):
+        context = make_context()
+        method = FixedPeriodWarmup(0.5, warm_predictor=False)
+        method.bind(context)
+        method.skip(2000)
+        assert method.cost.cache_updates > 0
+        assert method.cost.predictor_updates == 0
+
+    def test_predictor_only_variant(self):
+        context = make_context()
+        method = FixedPeriodWarmup(0.5, warm_cache=False)
+        method.bind(context)
+        method.skip(2000)
+        assert method.cost.cache_updates == 0
+        assert method.cost.predictor_updates > 0
+
+
+class TestSmarts:
+    def test_names(self):
+        assert SmartsWarmup().name == "S$BP"
+        assert SmartsWarmup(True, False).name == "S$"
+        assert SmartsWarmup(False, True).name == "SBP"
+
+    def test_smarts_state_equals_continuous_warming(self):
+        """SMARTS skip == running the machine with warm hooks directly."""
+        smarts_context = make_context("vpr")
+        method = SmartsWarmup()
+        method.bind(smarts_context)
+        method.skip(6000)
+
+        manual_context = make_context("vpr")
+        hierarchy = manual_context.hierarchy
+        predictor = manual_context.predictor
+        manual_context.machine.run(
+            6000,
+            mem_hook=lambda pc, np_, a, w: hierarchy.warm_access(a, w, False),
+            branch_hook=lambda pc, np_, i, t: predictor.update(pc, i, t, np_),
+            ifetch_hook=lambda a: hierarchy.warm_access(a, False, True),
+            ifetch_block_bytes=hierarchy.l1i.config.line_bytes,
+        )
+        for name in ("l1i", "l1d", "l2"):
+            assert getattr(smarts_context.hierarchy, name).state_fingerprint() \
+                == getattr(manual_context.hierarchy, name).state_fingerprint()
+        assert smarts_context.predictor.pht.counters == \
+            manual_context.predictor.pht.counters
+        assert smarts_context.predictor.pht.history == \
+            manual_context.predictor.pht.history
+
+    def test_cost_accounting_consistency(self):
+        context = make_context()
+        method = SmartsWarmup()
+        method.bind(context)
+        method.skip(3000)
+        assert method.cost.cache_updates == context.hierarchy.total_updates()
+        assert method.cost.predictor_updates == \
+            context.predictor.total_updates()
+        assert method.cost.functional_instructions == 3000
+
+    def test_bind_resets_cost(self):
+        context = make_context()
+        method = SmartsWarmup()
+        method.bind(context)
+        method.skip(1000)
+        method.bind(make_context())
+        assert method.cost.functional_instructions == 0

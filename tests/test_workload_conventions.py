@@ -1,0 +1,71 @@
+"""Invariant tests for the workload register/stack conventions.
+
+The generators rely on a strict register discipline (kernels.py header);
+a violation would silently corrupt main-loop state and produce bogus
+workload behaviour, so these tests verify the discipline dynamically.
+"""
+
+import pytest
+
+from repro.isa import STACK_POINTER
+from repro.workloads import PAPER_WORKLOADS, build_workload
+
+
+def run_to_loop(machine, loop_index, minimum_instructions, budget=60_000):
+    """Advance until the machine sits at the main-loop head again."""
+    machine.run(minimum_instructions)
+    for _ in range(budget):
+        if machine.pc == loop_index:
+            return True
+        machine.step()
+    return False
+
+
+@pytest.mark.parametrize("name", PAPER_WORKLOADS)
+class TestConventions:
+    def test_stack_balanced_at_loop_head(self, name):
+        """Every kernel must pop what it pushes: at the main-loop head the
+        stack pointer equals its initial value."""
+        workload = build_workload(name)
+        machine = workload.make_machine()
+        loop = workload.program.labels["loop"]
+        initial_sp = workload.program.stack_base
+        for visit in range(3):
+            assert run_to_loop(machine, loop, 1_000)
+            assert machine.registers[STACK_POINTER] == initial_sp, (
+                f"{name}: unbalanced stack at loop visit {visit}"
+            )
+            machine.step()  # move off the label before the next search
+
+    def test_untouched_globals_stay_zero(self, name):
+        """r20 and r21 are reserved main-loop globals no current workload
+        initialises: kernels must never scribble on them."""
+        workload = build_workload(name)
+        machine = workload.make_machine()
+        machine.run(30_000)
+        assert machine.registers[20] == 0
+        assert machine.registers[21] == 0
+
+    def test_rng_register_keeps_evolving(self, name):
+        """The shared LCG (r26) must advance — a kernel accidentally
+        clobbering it to a constant would freeze workload randomness."""
+        workload = build_workload(name)
+        machine = workload.make_machine()
+        machine.run(5_000)
+        first = machine.registers[26]
+        machine.run(5_000)
+        second = machine.registers[26]
+        assert first != 0
+        assert first != second
+
+    def test_main_loop_revisited_forever(self, name):
+        workload = build_workload(name)
+        machine = workload.make_machine()
+        loop = workload.program.labels["loop"]
+        visits = 0
+        machine.run(2_000)
+        for _ in range(30_000):
+            if machine.pc == loop:
+                visits += 1
+            machine.step()
+        assert visits >= 3, f"{name}: main loop starved"
