@@ -19,10 +19,15 @@ import pathlib
 
 import pytest
 
-from repro.harness import scale_from_env
-from repro.harness.experiment import full_matrix
+from repro.harness import resolve_cache, run_matrix_parallel, scale_from_env
+from repro.warmup import paper_method_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-session grid memo (scale name -> matrix), mirroring the old
+#: process-level ``full_matrix`` cache but routed through the parallel
+#: engine so benches can opt into workers and the on-disk result cache.
+_MATRICES: dict = {}
 
 
 def bench_scale():
@@ -31,8 +36,22 @@ def bench_scale():
 
 
 def get_full_matrix():
-    """The shared 16-method x 9-workload grid (computed once)."""
-    return full_matrix(bench_scale().name)
+    """The shared 16-method x 9-workload grid (computed once per session).
+
+    ``REPRO_MATRIX_JOBS`` sets the worker count (default 1: serial,
+    identical to the historical path); ``REPRO_RESULT_CACHE`` opts into
+    the on-disk result cache, making warm bench re-runs near-instant.
+    """
+    scale = bench_scale()
+    if scale.name not in _MATRICES:
+        jobs = int(os.environ.get("REPRO_MATRIX_JOBS", "1"))
+        _MATRICES[scale.name] = run_matrix_parallel(
+            paper_method_suite,
+            scale=scale,
+            jobs=jobs,
+            cache=resolve_cache(),
+        )
+    return _MATRICES[scale.name]
 
 
 def save_result(name: str, text: str) -> None:

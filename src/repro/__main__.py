@@ -12,6 +12,9 @@ compare WORKLOAD
     The full Table 2 method comparison on one workload.
 simpoint WORKLOAD
     SimPoint analysis and simulation (paper Figure 9 style).
+matrix
+    The full evaluation grid through the parallel engine, with on-disk
+    result caching (``--jobs``, ``--cache``; see docs/parallel-execution.md).
 
 All commands accept ``--scale {ci,bench,default,full}`` (or the
 ``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
@@ -21,11 +24,13 @@ tier.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .harness import (
     SCALES,
     format_table,
+    resolve_cache,
     scale_from_env,
     true_run_for,
 )
@@ -172,6 +177,51 @@ def cmd_design(args) -> int:
     return 0
 
 
+def cmd_matrix(args) -> int:
+    """Run the evaluation grid through the parallel engine."""
+    import time
+
+    from .harness import console_progress, format_per_workload, save_matrix
+    from .harness.parallel import run_matrix_parallel
+    from .warmup import paper_method_suite
+    from .workloads import available_workloads
+
+    scale = _resolve_scale(args)
+    workloads = tuple(args.workload) if args.workload else available_workloads()
+    cache = resolve_cache(
+        None if args.cache == "auto" else args.cache, default="on"
+    )
+    progress = None if args.quiet else console_progress
+    start = time.perf_counter()
+    matrix = run_matrix_parallel(
+        paper_method_suite,
+        workload_names=workloads,
+        scale=scale,
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - start
+    print(format_per_workload(
+        matrix, paper_method_names(), value="error",
+        title=f"Relative error ({scale.name} tier)",
+    ))
+    print()
+    print(format_per_workload(
+        matrix, paper_method_names(), value="ci",
+        title="95% confidence tests",
+    ))
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    summary = f"\ngrid completed in {elapsed:.1f}s ({jobs} jobs"
+    if cache is not None:
+        summary += f"; cache at {cache.root}: {cache.stats}"
+    print(summary + ")")
+    if args.output:
+        save_matrix(matrix, args.output)
+        print(f"full grid written to {args.output}")
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     """Regenerate the full evaluation grid and export it."""
     from .harness import format_per_workload, save_matrix
@@ -247,6 +297,35 @@ def build_parser() -> argparse.ArgumentParser:
     design_parser.add_argument("--target-error", type=float, default=0.03)
     _add_scale_argument(design_parser)
     design_parser.set_defaults(handler=cmd_design)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix",
+        help="run the evaluation grid with the parallel engine",
+    )
+    matrix_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: all cores; 1 = serial in-process)",
+    )
+    matrix_parser.add_argument(
+        "--cache", default="auto",
+        help="result cache: 'auto' (REPRO_RESULT_CACHE or the default "
+             "directory), 'off', or a cache directory path",
+    )
+    matrix_parser.add_argument(
+        "--workload", action="append", choices=available_workloads(),
+        default=None,
+        help="restrict the grid to this workload (repeatable; default: all)",
+    )
+    matrix_parser.add_argument(
+        "--output", default=None,
+        help="also export the grid (.csv or .json)",
+    )
+    matrix_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines",
+    )
+    _add_scale_argument(matrix_parser)
+    matrix_parser.set_defaults(handler=cmd_matrix)
 
     reproduce_parser = subparsers.add_parser(
         "reproduce",

@@ -101,7 +101,9 @@ class SkipRegionLog:
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         if fraction >= 1.0:
-            return records
+            # A copy, never the live list: a consumer holding the tail
+            # across clear() must not see it mutate underfoot.
+            return records[:]
         keep = int(round(len(records) * fraction))
         if keep <= 0:
             return []

@@ -9,7 +9,25 @@ from .experiment import (
     true_run_for,
     run_workload_experiment,
     run_matrix,
+    full_matrix,
     average_over_workloads,
+)
+from .cache import (
+    CACHE_ENV_VAR,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    code_version,
+    default_cache_dir,
+    resolve_cache,
+)
+from .parallel import (
+    CellProgress,
+    CellSpec,
+    TrueRunSpec,
+    console_progress,
+    matrix_specs,
+    run_matrix_parallel,
 )
 from .export import (
     matrix_rows,
@@ -34,7 +52,21 @@ __all__ = [
     "true_run_for",
     "run_workload_experiment",
     "run_matrix",
+    "full_matrix",
     "average_over_workloads",
+    "CACHE_ENV_VAR",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+    "resolve_cache",
+    "CellProgress",
+    "CellSpec",
+    "TrueRunSpec",
+    "console_progress",
+    "matrix_specs",
+    "run_matrix_parallel",
     "matrix_rows",
     "matrix_to_csv",
     "matrix_to_json",

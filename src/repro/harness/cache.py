@@ -1,0 +1,228 @@
+"""Content-addressed on-disk cache for experiment results.
+
+The evaluation grid is expensive but perfectly reproducible: every cell
+is a pure function of (workload, scale, simulator configuration, warm-up
+method, simulator code).  This module derives a stable key from exactly
+those inputs and memoises :class:`~..sampling.TrueRunResult` /
+:class:`~..sampling.SampledRunResult` pickles on disk, so re-running a
+figure bench after an unrelated edit (docs, benches, analysis scripts)
+is a cache hit while any edit under ``src/repro`` invalidates everything
+automatically via the code-version component of the key.
+
+Control knob: the ``REPRO_RESULT_CACHE`` environment variable.
+
+- ``off`` / ``0`` / ``none`` / ``false`` / empty — caching disabled;
+- ``on`` / ``auto`` / ``1`` — enabled at the default directory
+  (``$XDG_CACHE_HOME/repro/results`` or ``~/.cache/repro/results``);
+- any other value — treated as the cache directory path.
+
+Writes are atomic (temp file + :func:`os.replace` in the same
+directory), so concurrent workers and concurrent processes can share one
+cache without torn entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+#: Environment variable controlling the default cache location.
+CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+
+_OFF_VALUES = {"off", "0", "none", "no", "false", "disabled", ""}
+_ON_VALUES = {"on", "auto", "1", "default", "yes", "true"}
+
+
+def default_cache_dir() -> Path:
+    """The XDG-style default location for the on-disk result cache."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro" / "results"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file (the cache's code key).
+
+    Any edit under ``src/repro`` changes this digest and therefore every
+    cache key, guaranteeing stale results are never served after a
+    simulator change; edits outside the package (benches, docs, tests)
+    leave it untouched, which is what makes warm re-runs cheap.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def _stable(value):
+    """Recursively convert a config object into JSON-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _stable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [_stable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _stable(item) for key, item in sorted(value.items())}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def cache_key(
+    kind: str,
+    workload_name: str,
+    scale,
+    configs,
+    method_name: str = "",
+) -> str:
+    """Stable content hash identifying one experiment result.
+
+    `kind` distinguishes result families sharing the same inputs
+    (``"true"`` for full-trace baselines, ``"cell"`` for sampled runs);
+    `scale` and `configs` are serialised field-by-field so any change to
+    regimen sizing, seeds, or microarchitecture produces a new key.
+    """
+    payload = json.dumps(
+        {
+            "kind": kind,
+            "workload": workload_name,
+            "scale": _stable(scale),
+            "configs": _stable(configs),
+            "method": method_name,
+            "code": code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+@dataclass
+class ResultCache:
+    """A directory of pickled experiment results addressed by key.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl``; the two-character
+    fan-out keeps directories small for full-scale grids.  Unreadable or
+    corrupt entries are treated as misses, never as errors.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached value for `key`, or None on a miss."""
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+            value = pickle.loads(payload)
+        except Exception:
+            # A cache must never fail a run: any unreadable or corrupt
+            # entry (pickle raises assorted exception types on garbage
+            # bytes) is simply a miss to be recomputed.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Atomically persist `value` under `key`."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(
+    setting: "str | Path | ResultCache | None" = None,
+    *,
+    default: "str | None" = None,
+) -> ResultCache | None:
+    """Turn a cache setting into a :class:`ResultCache` (or None).
+
+    Precedence: an explicit `setting` wins; otherwise the
+    ``REPRO_RESULT_CACHE`` environment variable; otherwise `default`.
+    Recognised values are documented in the module docstring.
+    """
+    if isinstance(setting, ResultCache):
+        return setting
+    if isinstance(setting, Path):
+        return ResultCache(setting)
+    if setting is None:
+        setting = os.environ.get(CACHE_ENV_VAR)
+    if setting is None:
+        setting = default
+    if setting is None:
+        return None
+    lowered = str(setting).strip().lower()
+    if lowered in _OFF_VALUES:
+        return None
+    if lowered in _ON_VALUES:
+        return ResultCache(default_cache_dir())
+    return ResultCache(Path(setting))

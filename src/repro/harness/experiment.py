@@ -144,17 +144,26 @@ class WorkloadExperiment:
 
 @lru_cache(maxsize=None)
 def _true_run_cached(workload_name: str,
-                     scale: ExperimentScale) -> TrueRunResult:
+                     scale: ExperimentScale,
+                     configs: SimulatorConfigs) -> TrueRunResult:
     workload = build_workload(workload_name, mem_scale=scale.mem_scale)
     return measure_true_ipc(workload, scale.total_instructions,
-                            scale.configs(),
+                            configs,
                             warmup_prefix=scale.warmup_prefix)
 
 
 def true_run_for(workload_name: str,
-                 scale: ExperimentScale) -> TrueRunResult:
-    """Full-trace detailed baseline, cached per process."""
-    return _true_run_cached(workload_name, scale)
+                 scale: ExperimentScale,
+                 configs: SimulatorConfigs | None = None) -> TrueRunResult:
+    """Full-trace detailed baseline, cached per process.
+
+    `configs` must match the microarchitecture the sampled runs use —
+    it participates in the cache key, so a caller-supplied override is
+    scored against a baseline built from the same configuration rather
+    than silently falling back to ``scale.configs()``.
+    """
+    configs = configs if configs is not None else scale.configs()
+    return _true_run_cached(workload_name, scale, configs)
 
 
 def run_workload_experiment(
@@ -164,11 +173,11 @@ def run_workload_experiment(
     configs: SimulatorConfigs | None = None,
 ) -> WorkloadExperiment:
     """Run every method on one workload (same clusters for all methods)."""
+    configs = configs if configs is not None else scale.configs()
     workload = build_workload(workload_name, mem_scale=scale.mem_scale)
-    true_run = true_run_for(workload_name, scale)
+    true_run = true_run_for(workload_name, scale, configs)
     simulator = SampledSimulator(
-        workload, scale.regimen(),
-        configs if configs is not None else scale.configs(),
+        workload, scale.regimen(), configs,
         warmup_prefix=scale.warmup_prefix,
         detail_ramp=scale.detail_ramp,
     )
@@ -204,17 +213,23 @@ def run_matrix(
 
 
 @lru_cache(maxsize=4)
+def _full_matrix_cached(scale_name: str) -> dict[str, WorkloadExperiment]:
+    from ..warmup import paper_method_suite
+
+    return run_matrix(paper_method_suite, scale=SCALES[scale_name])
+
+
 def full_matrix(scale_name: str = "") -> dict[str, WorkloadExperiment]:
     """The complete Table 2 grid (16 methods x 9 workloads), cached.
 
     Several figures and the appendix tables slice the same grid; caching
     per process lets the benches share one run.  An empty `scale_name`
-    resolves through ``REPRO_EXPERIMENT_SCALE``.
+    resolves through ``REPRO_EXPERIMENT_SCALE`` *before* the cache is
+    consulted, so changing the environment variable between calls never
+    returns the grid computed for the previous scale.
     """
-    from ..warmup import paper_method_suite
-
     scale = SCALES[scale_name] if scale_name else scale_from_env()
-    return run_matrix(paper_method_suite, scale=scale)
+    return _full_matrix_cached(scale.name)
 
 
 def average_over_workloads(

@@ -1,0 +1,309 @@
+"""Parallel experiment execution engine.
+
+The evaluation grid behind every figure and table is a (workload x
+method) matrix whose cells are mutually independent: each sampled run
+builds its own machine, hierarchy, and predictor, and the regimen seed —
+not execution order — determines cluster placement.  This module fans
+those cells out over a :class:`concurrent.futures.ProcessPoolExecutor`
+as small picklable task specs and deterministically reassembles the same
+:class:`~.experiment.WorkloadExperiment` grids the serial
+:func:`~.experiment.run_matrix` produces: same regimen seed, same
+cluster IPCs, bit-identical estimates.
+
+Two task kinds exist per grid:
+
+- one **true-run** task per workload (the full-trace baseline, shared by
+  every method outcome of that workload), and
+- one **cell** task per (workload, method) pair.
+
+Both are pure functions of their spec, so both are memoised through the
+optional on-disk :class:`~.cache.ResultCache`; a warm cache turns a grid
+into pure deserialisation.  The engine degrades gracefully: ``jobs=1``,
+an unpicklable method factory, or a platform without working process
+pools all fall back to in-process serial execution of the same task
+list (cache and progress reporting included).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..sampling import SampledRunResult, SampledSimulator, SimulatorConfigs, TrueRunResult
+from ..warmup.base import WarmupCost
+from ..workloads import PAPER_WORKLOADS, build_workload
+from .cache import ResultCache, cache_key
+from .experiment import (
+    ExperimentScale,
+    MethodOutcome,
+    WorkloadExperiment,
+    scale_from_env,
+    true_run_for,
+)
+
+
+@dataclass(frozen=True)
+class TrueRunSpec:
+    """Picklable description of one full-trace baseline task."""
+
+    workload_name: str
+    scale: ExperimentScale
+    configs: SimulatorConfigs
+
+    @property
+    def kind(self) -> str:
+        return "true"
+
+    @property
+    def method_name(self) -> str:
+        return "<true>"
+
+    def key(self) -> str:
+        return cache_key("true", self.workload_name, self.scale,
+                         self.configs)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Picklable description of one (workload, method) grid cell."""
+
+    workload_name: str
+    method_name: str
+    scale: ExperimentScale
+    configs: SimulatorConfigs
+
+    @property
+    def kind(self) -> str:
+        return "cell"
+
+    def key(self) -> str:
+        return cache_key("cell", self.workload_name, self.scale,
+                         self.configs, self.method_name)
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One progress event, emitted as each task finishes.
+
+    `wall_seconds` is the simulation's own wall time (as recorded in the
+    result, independent of pool queueing); `cost` is the run's
+    :class:`~..warmup.base.WarmupCost` (None for true-run tasks),
+    surfacing reconstruction statistics — log records buffered,
+    cache/predictor updates replayed — alongside timing.
+    """
+
+    completed: int
+    total: int
+    kind: str
+    workload_name: str
+    method_name: str
+    wall_seconds: float
+    cached: bool
+    cost: WarmupCost | None = None
+
+    def describe(self) -> str:
+        label = (self.workload_name if self.kind == "true"
+                 else f"{self.workload_name} x {self.method_name}")
+        origin = "cache" if self.cached else f"{self.wall_seconds:.2f}s"
+        line = (f"[{self.completed}/{self.total}] "
+                f"{self.kind:<5} {label}: {origin}")
+        if self.cost is not None and not self.cached:
+            line += (f" (warm updates {self.cost.warm_updates():,}, "
+                     f"log records {self.cost.log_records:,})")
+        return line
+
+
+ProgressHook = Callable[[CellProgress], None]
+
+
+def console_progress(event: CellProgress) -> None:
+    """A ready-made progress hook printing one line per finished task."""
+    print(event.describe(), flush=True)
+
+
+def _run_true_task(spec: TrueRunSpec) -> TrueRunResult:
+    """Worker: compute one full-trace baseline."""
+    return true_run_for(spec.workload_name, spec.scale, spec.configs)
+
+
+def _run_cell_task(spec: CellSpec, method_factory) -> SampledRunResult:
+    """Worker: run one warm-up method on one workload."""
+    methods = {method.name: method for method in method_factory()}
+    try:
+        method = methods[spec.method_name]
+    except KeyError:
+        known = ", ".join(sorted(methods))
+        raise ValueError(
+            f"method factory produced no method named "
+            f"{spec.method_name!r}; known: {known}"
+        ) from None
+    workload = build_workload(spec.workload_name,
+                              mem_scale=spec.scale.mem_scale)
+    simulator = SampledSimulator(
+        workload, spec.scale.regimen(), spec.configs,
+        warmup_prefix=spec.scale.warmup_prefix,
+        detail_ramp=spec.scale.detail_ramp,
+    )
+    return simulator.run(method)
+
+
+def _is_picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _execute_serial(pending, method_factory, results, emit):
+    """In-process execution of `pending` specs (the fallback path)."""
+    for spec in pending:
+        if spec.kind == "true":
+            result = _run_true_task(spec)
+        else:
+            result = _run_cell_task(spec, method_factory)
+        results[spec] = result
+        emit(spec, result, cached=False)
+
+
+def _execute_pool(pending, method_factory, results, emit, jobs) -> bool:
+    """Fan `pending` out over a process pool; False if no pool exists."""
+    try:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    except (NotImplementedError, OSError, PermissionError, ValueError):
+        return False
+    try:
+        futures = {}
+        for spec in pending:
+            if spec.kind == "true":
+                future = executor.submit(_run_true_task, spec)
+            else:
+                future = executor.submit(_run_cell_task, spec,
+                                         method_factory)
+            futures[future] = spec
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                spec = futures[future]
+                result = future.result()
+                results[spec] = result
+                emit(spec, result, cached=False)
+    finally:
+        executor.shutdown()
+    return True
+
+
+def matrix_specs(
+    method_names: Iterable[str],
+    workload_names: Iterable[str],
+    scale: ExperimentScale,
+    configs: SimulatorConfigs,
+) -> list:
+    """The full deterministic task list for one grid (true runs first)."""
+    specs: list = [
+        TrueRunSpec(workload_name=name, scale=scale, configs=configs)
+        for name in workload_names
+    ]
+    specs.extend(
+        CellSpec(workload_name=workload_name, method_name=method_name,
+                 scale=scale, configs=configs)
+        for workload_name in workload_names
+        for method_name in method_names
+    )
+    return specs
+
+
+def run_matrix_parallel(
+    method_factory,
+    workload_names: tuple[str, ...] = PAPER_WORKLOADS,
+    scale: ExperimentScale | None = None,
+    configs: SimulatorConfigs | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressHook | None = None,
+) -> dict[str, WorkloadExperiment]:
+    """Run a methods-by-workloads grid, fanned out over processes.
+
+    Drop-in parallel equivalent of :func:`~.experiment.run_matrix`: the
+    same `method_factory` contract (zero-argument callable returning
+    fresh methods), the same grid shape, and — because every cell builds
+    its own simulator from the shared regimen seed — bit-identical
+    cluster IPCs and estimates.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``1``
+        executes in-process (no pool, no pickling requirements).
+    cache:
+        Optional on-disk :class:`ResultCache`; hits skip execution
+        entirely and count toward progress as ``cached`` events.
+    progress:
+        Optional hook called with a :class:`CellProgress` per finished
+        task, in completion order.
+    """
+    scale = scale if scale is not None else scale_from_env()
+    configs = configs if configs is not None else scale.configs()
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    method_names = [method.name for method in method_factory()]
+    specs = matrix_specs(method_names, workload_names, scale, configs)
+
+    results: dict = {}
+    completed = 0
+
+    def emit(spec, result, cached: bool) -> None:
+        nonlocal completed
+        completed += 1
+        if progress is None:
+            return
+        progress(CellProgress(
+            completed=completed,
+            total=len(specs),
+            kind=spec.kind,
+            workload_name=spec.workload_name,
+            method_name=spec.method_name,
+            wall_seconds=0.0 if cached else result.wall_seconds,
+            cached=cached,
+            cost=getattr(result, "cost", None),
+        ))
+
+    pending = []
+    for spec in specs:
+        if cache is not None:
+            hit = cache.get(spec.key())
+            if hit is not None:
+                results[spec] = hit
+                emit(spec, hit, cached=True)
+                continue
+        pending.append(spec)
+
+    if pending:
+        use_pool = jobs > 1 and _is_picklable(method_factory)
+        ran_in_pool = use_pool and _execute_pool(
+            pending, method_factory, results, emit, jobs
+        )
+        if not ran_in_pool:
+            _execute_serial(pending, method_factory, results, emit)
+        if cache is not None:
+            for spec in pending:
+                cache.put(spec.key(), results[spec])
+
+    grid: dict[str, WorkloadExperiment] = {}
+    for workload_name in workload_names:
+        true_run = results[TrueRunSpec(workload_name, scale, configs)]
+        experiment = WorkloadExperiment(
+            workload_name=workload_name, true_run=true_run
+        )
+        for method_name in method_names:
+            run = results[CellSpec(workload_name, method_name, scale,
+                                   configs)]
+            experiment.outcomes[method_name] = MethodOutcome(
+                run=run, true_ipc=true_run.ipc
+            )
+        grid[workload_name] = experiment
+    return grid

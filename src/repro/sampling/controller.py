@@ -60,9 +60,14 @@ class TrueRunResult:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class SimulatorConfigs:
-    """The microarchitecture under simulation (shared by all methods)."""
+    """The microarchitecture under simulation (shared by all methods).
+
+    Frozen (hence hashable and safely picklable) so a configuration can
+    key the harness's true-run and on-disk result caches and cross
+    process boundaries in the parallel experiment engine unchanged.
+    """
 
     hierarchy: HierarchyConfig = field(default_factory=paper_hierarchy_config)
     predictor: PredictorConfig = field(default_factory=paper_predictor_config)

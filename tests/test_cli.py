@@ -50,6 +50,29 @@ class TestParser:
         args = build_parser().parse_args(["compare", "art"])
         assert args.command == "compare"
 
+    def test_matrix_command_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.command == "matrix"
+        assert args.jobs is None
+        assert args.cache == "auto"
+        assert args.workload is None
+        assert not args.quiet
+
+    def test_matrix_command_flags(self):
+        args = build_parser().parse_args(
+            ["matrix", "--jobs", "4", "--scale", "ci", "--cache", "off",
+             "--workload", "ammp", "--workload", "gcc", "--quiet"],
+        )
+        assert args.jobs == 4
+        assert args.scale == "ci"
+        assert args.cache == "off"
+        assert args.workload == ["ammp", "gcc"]
+        assert args.quiet
+
+    def test_matrix_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--workload", "quake"])
+
 
 class TestCommands:
     def test_workloads_lists_all_nine(self, capsys):

@@ -75,7 +75,7 @@ class TestHooks:
 class TestTail:
     def test_full_fraction_returns_everything(self):
         log = run_with_log()
-        assert log.memory_tail(1.0) is log.memory_records
+        assert log.memory_tail(1.0) == log.memory_records
 
     def test_half_fraction_returns_recent_half(self):
         log = SkipRegionLog()
@@ -105,6 +105,22 @@ class TestTail:
         full = log.branch_tail(1.0)
         half = log.branch_tail(0.5)
         assert half == full[len(full) - len(half):]
+
+    def test_full_fraction_tail_is_a_copy(self):
+        # Regression: fraction >= 1.0 used to return the *live* record
+        # list, so a consumer holding the tail across clear() saw it
+        # drained underfoot.
+        log = run_with_log()
+        memory_tail = log.memory_tail(1.0)
+        branch_tail = log.branch_tail(1.0)
+        assert memory_tail is not log.memory_records
+        assert branch_tail is not log.branch_records
+        snapshot_memory = list(memory_tail)
+        snapshot_branch = list(branch_tail)
+        log.clear()
+        assert memory_tail == snapshot_memory
+        assert branch_tail == snapshot_branch
+        assert memory_tail != []
 
 
 class TestLifecycle:
