@@ -19,7 +19,7 @@ def test_ablation_counter_inference(benchmark, scale):
     gaps = {}
     for name in ("gcc", "perl"):
         workload = build_workload(name)
-        true_ipc = true_run_for(name, scale).ipc
+        true_run_for(name, scale)  # warm the shared baseline cache
         simulator = SampledSimulator(
             workload, scale.regimen(), scale.configs(),
             warmup_prefix=scale.warmup_prefix,

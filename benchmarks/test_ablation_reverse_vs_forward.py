@@ -7,7 +7,7 @@ so it performs strictly more cache updates for the same final state
 quality.  This bench quantifies the update-count gap.
 """
 
-from conftest import emit, bench_scale
+from conftest import emit
 from repro.cache import MemoryHierarchy
 from repro.core import ReverseCacheReconstructor, SkipRegionLog
 from repro.core.logging import REF_INSTRUCTION, REF_STORE

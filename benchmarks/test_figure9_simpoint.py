@@ -12,7 +12,7 @@ against cluster sampling with R$BP (20%).  Expected shape:
   supports confidence intervals.
 """
 
-from conftest import emit, bench_scale
+from conftest import emit
 from repro.harness import format_table, true_run_for
 from repro.simpoint import run_simpoints, select_simpoints
 from repro.warmup import SmartsWarmup

@@ -15,10 +15,15 @@ simpoint WORKLOAD
 matrix
     The full evaluation grid through the parallel engine, with on-disk
     result caching (``--jobs``, ``--cache``; see docs/parallel-execution.md).
+profile WORKLOAD
+    Sampled simulation with telemetry enabled: phase breakdown
+    (cold_skip / reconstruct / hot_sim), per-structure update counts, and
+    per-method trace totals (see docs/observability.md).
 
 All commands accept ``--scale {ci,bench,default,full}`` (or the
 ``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
-tier.
+tier.  ``sample``, ``compare``, ``matrix``, and ``profile`` accept
+``--trace PATH`` to write one JSON-lines record per sampled cluster.
 """
 
 from __future__ import annotations
@@ -47,18 +52,42 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSON-lines telemetry trace (one record per sampled "
+             "cluster) to PATH and print the telemetry profile",
+    )
+
+
 def _resolve_scale(args):
     if args.scale:
         return SCALES[args.scale]
     return scale_from_env()
 
 
-def _simulator(workload, scale):
+def _simulator(workload, scale, telemetry=None):
     return SampledSimulator(
         workload, scale.regimen(), scale.configs(),
         warmup_prefix=scale.warmup_prefix,
         detail_ramp=scale.detail_ramp,
+        telemetry=telemetry,
     )
+
+
+def _report_telemetry(snapshots, trace_path, title="Telemetry profile"):
+    """Merge per-run snapshots; write the trace file and print the profile."""
+    from .harness import format_telemetry_summary
+    from .telemetry import merge_snapshots, write_trace
+
+    merged = merge_snapshots(snapshots)
+    if merged is None:
+        return
+    if trace_path:
+        count = write_trace(merged.trace_records, trace_path)
+        print(f"\n{count} trace records written to {trace_path}")
+    print()
+    print(format_telemetry_summary(merged, title=title))
 
 
 def cmd_workloads(_args) -> int:
@@ -91,10 +120,19 @@ def cmd_sample(args) -> int:
     scale = _resolve_scale(args)
     workload = build_workload(args.workload, mem_scale=scale.mem_scale)
     true_run = true_run_for(args.workload, scale)
-    simulator = _simulator(workload, scale)
+    trace_path = getattr(args, "trace", None)
+    telemetry = None
+    if trace_path:
+        # The Telemetry class doubles as a zero-argument factory: each
+        # method's run gets a fresh session, merged after the table.
+        from .telemetry import Telemetry
+        telemetry = Telemetry
+    simulator = _simulator(workload, scale, telemetry=telemetry)
+    results = []
     rows = []
     for method_name in args.method:
         result = simulator.run(make_method(method_name))
+        results.append(result)
         rows.append([
             result.method_name,
             f"{result.estimate.mean:.4f}",
@@ -109,6 +147,12 @@ def cmd_sample(args) -> int:
         title=f"{args.workload}: true IPC {true_run.ipc:.4f} — "
               f"{scale.regimen().describe()}",
     ))
+    if trace_path:
+        _report_telemetry(
+            (result.extra.get("telemetry") for result in results),
+            trace_path,
+            title=f"{args.workload} telemetry ({scale.name} tier)",
+        )
     return 0
 
 
@@ -193,14 +237,32 @@ def cmd_matrix(args) -> int:
     )
     progress = None if args.quiet else console_progress
     start = time.perf_counter()
-    matrix = run_matrix_parallel(
-        paper_method_suite,
-        workload_names=workloads,
-        scale=scale,
-        jobs=args.jobs,
-        cache=cache,
-        progress=progress,
-    )
+    collect_sentinel = object()
+    previous_collect = collect_sentinel
+    if args.trace:
+        # Collection-only mode for the worker processes: every cell
+        # buffers a snapshot into its result, and the parent writes one
+        # deterministic trace file from the merged profile below (the
+        # workers never touch the file themselves).
+        from .telemetry import COLLECT_ENV_VAR
+        previous_collect = os.environ.get(COLLECT_ENV_VAR)
+        os.environ[COLLECT_ENV_VAR] = "1"
+    try:
+        matrix = run_matrix_parallel(
+            paper_method_suite,
+            workload_names=workloads,
+            scale=scale,
+            jobs=args.jobs,
+            cache=cache,
+            progress=progress,
+        )
+    finally:
+        if previous_collect is not collect_sentinel:
+            from .telemetry import COLLECT_ENV_VAR
+            if previous_collect is None:
+                os.environ.pop(COLLECT_ENV_VAR, None)
+            else:
+                os.environ[COLLECT_ENV_VAR] = previous_collect
     elapsed = time.perf_counter() - start
     print(format_per_workload(
         matrix, paper_method_names(), value="error",
@@ -216,9 +278,41 @@ def cmd_matrix(args) -> int:
     if cache is not None:
         summary += f"; cache at {cache.root}: {cache.stats}"
     print(summary + ")")
+    if args.trace:
+        from .harness import merged_telemetry
+        merged = merged_telemetry(matrix)
+        _report_telemetry(
+            [merged], args.trace,
+            title=f"Grid telemetry ({scale.name} tier)",
+        )
     if args.output:
         save_matrix(matrix, args.output)
         print(f"full grid written to {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Phase breakdown of one workload's sampled simulation."""
+    from .harness import format_telemetry_summary
+    from .telemetry import Telemetry, merge_snapshots, write_trace
+
+    scale = _resolve_scale(args)
+    workload = build_workload(args.workload, mem_scale=scale.mem_scale)
+    simulator = _simulator(workload, scale, telemetry=Telemetry)
+    methods = args.method or ["S$BP", "R$BP (100%)"]
+    snapshots = []
+    for method_name in methods:
+        result = simulator.run(make_method(method_name))
+        snapshots.append(result.extra.get("telemetry"))
+    merged = merge_snapshots(snapshots)
+    print(format_telemetry_summary(
+        merged,
+        title=f"{args.workload} profile ({scale.name} tier, "
+              f"{scale.regimen().describe()})",
+    ))
+    if args.trace:
+        count = write_trace(merged.trace_records, args.trace)
+        print(f"\n{count} trace records written to {args.trace}")
     return 0
 
 
@@ -273,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
              "R$BP (20%%)",
     )
     _add_scale_argument(sample_parser)
+    _add_trace_argument(sample_parser)
     sample_parser.set_defaults(handler=cmd_sample)
 
     compare_parser = subparsers.add_parser(
@@ -280,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument("workload", choices=available_workloads())
     _add_scale_argument(compare_parser)
+    _add_trace_argument(compare_parser)
     compare_parser.set_defaults(handler=cmd_compare)
 
     simpoint_parser = subparsers.add_parser(
@@ -325,7 +421,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-cell progress lines",
     )
     _add_scale_argument(matrix_parser)
+    _add_trace_argument(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="telemetry profile: phase timers and per-structure updates",
+    )
+    profile_parser.add_argument("workload", choices=available_workloads())
+    profile_parser.add_argument(
+        "--method", action="append", default=None,
+        help="Table 2 method name (repeatable); default: S$BP and "
+             "R$BP (100%%)",
+    )
+    _add_scale_argument(profile_parser)
+    _add_trace_argument(profile_parser)
+    profile_parser.set_defaults(handler=cmd_profile)
 
     reproduce_parser = subparsers.add_parser(
         "reproduce",
@@ -343,13 +454,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "method", "unset") is None:
+    if args.command == "sample" and args.method is None:
         args.method = ["S$BP", "R$BP (20%)"]
     try:
         return args.handler(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except ValueError as exc:
+        # Bad user input reaching past argparse (unknown --method name,
+        # invalid REPRO_EXPERIMENT_SCALE, malformed --output extension):
+        # a readable one-line diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

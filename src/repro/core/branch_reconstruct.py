@@ -24,6 +24,7 @@ Responsibilities, in the order they run:
 from __future__ import annotations
 
 from ..branch import BranchPredictor
+from ..telemetry import NULL_TELEMETRY
 from .counter_table import CounterInferenceTable, default_table
 from .logging import BR_COND, BR_RET, SkipRegionLog
 from .ras_reconstruct import reconstruct_ras
@@ -34,7 +35,8 @@ class ReverseBranchReconstructor:
 
     def __init__(self, predictor: BranchPredictor,
                  table: CounterInferenceTable | None = None,
-                 infer_counters: bool = True) -> None:
+                 infer_counters: bool = True,
+                 telemetry=None) -> None:
         self.predictor = predictor
         self.table = table if table is not None else default_table()
         #: Ablation switch: when False, PHT entries are marked reconstructed
@@ -47,6 +49,14 @@ class ReverseBranchReconstructor:
         self.counter_writes = 0
         self.ras_entries_recovered = 0
         self.log_walk_steps = 0
+        # Instruments resolved once; the null registry hands back shared
+        # no-op singletons, so the on-demand walker stays cheap untraced.
+        registry = (telemetry if telemetry is not None
+                    else NULL_TELEMETRY).registry
+        self._pht_counter = registry.counter("reconstruct.pht_entries")
+        self._btb_counter = registry.counter("reconstruct.btb_entries")
+        self._ras_counter = registry.counter("reconstruct.ras_entries")
+        self._walk_counter = registry.counter("reconstruct.log_walk_steps")
 
     # -- eager phase (immediately before the cluster) -----------------------
 
@@ -77,14 +87,18 @@ class ReverseBranchReconstructor:
 
         # --- step 2: BTB, newest claimant wins ----------------------------
         btb = predictor.btb
+        btb_writes = 0
         for position in range(len(tail) - 1, -1, -1):
             pc, next_pc, taken, kind = tail[position]
             if kind == BR_RET or not taken:
                 continue
             btb.reconstruct(pc, next_pc)
+            btb_writes += 1
+        self._btb_counter.inc(btb_writes)
 
         # --- step 3: RAS ---------------------------------------------------
         self.ras_entries_recovered = reconstruct_ras(predictor.ras, tail)
+        self._ras_counter.inc(self.ras_entries_recovered)
 
         # --- step 4: arm the on-demand PHT walker --------------------------
         # Precompute the GHR in effect *before* each conditional branch in
@@ -120,6 +134,7 @@ class ReverseBranchReconstructor:
         table = self.table
         mask = pht.entries - 1
         cursor = self._cursor
+        cursor_at_entry = cursor
 
         while cursor >= 0 and not reconstructed[entry]:
             pc, taken, ghr_before = conditionals[cursor]
@@ -139,6 +154,7 @@ class ReverseBranchReconstructor:
             else:
                 pending[index] = (length, bits)
         self._cursor = cursor
+        self._walk_counter.inc(cursor_at_entry - cursor)
 
         if not reconstructed[entry]:
             # Log exhausted: resolve with whatever history accumulated.
@@ -151,6 +167,7 @@ class ReverseBranchReconstructor:
         if value is not None and self.infer_counters:
             pht.counters[entry] = value
             self.counter_writes += 1
+            self._pht_counter.inc()
         pht.reconstructed[entry] = True
 
     def drain(self) -> None:
@@ -163,6 +180,7 @@ class ReverseBranchReconstructor:
         table = self.table
         mask = pht.entries - 1
         cursor = self._cursor
+        cursor_at_entry = cursor
         while cursor >= 0:
             pc, taken, ghr_before = self._conditionals[cursor]
             cursor -= 1
@@ -180,6 +198,7 @@ class ReverseBranchReconstructor:
             else:
                 pending[index] = (length, bits)
         self._cursor = cursor
+        self._walk_counter.inc(cursor_at_entry - cursor)
         for entry, (length, bits) in list(pending.items()):
             self._finalize(entry, table.lookup(length, bits).value)
         pending.clear()

@@ -38,8 +38,12 @@ class CacheReconstructionStats:
 class ReverseCacheReconstructor:
     """Reverse-scans a skip-region memory log into a hierarchy."""
 
-    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, hierarchy: MemoryHierarchy, telemetry=None) -> None:
         self.hierarchy = hierarchy
+        #: Optional telemetry session; each pass reports how many logged
+        #: references it scanned, applied (blocks actually reconstructed),
+        #: and skipped by the temporal-locality filter.
+        self.telemetry = telemetry
 
     def reconstruct(self, log: SkipRegionLog,
                     fraction: float = 1.0) -> CacheReconstructionStats:
@@ -80,4 +84,9 @@ class ReverseCacheReconstructor:
 
         stats.applied = applied
         stats.skipped = stats.scanned - applied
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.count("reconstruct.refs_scanned", stats.scanned)
+            telemetry.count("reconstruct.blocks_applied", stats.applied)
+            telemetry.count("reconstruct.refs_skipped", stats.skipped)
         return stats

@@ -43,11 +43,15 @@ class SkipRegionLog:
     reconstruction iterates them in reverse.
     """
 
-    __slots__ = ("memory_records", "branch_records")
+    __slots__ = ("memory_records", "branch_records", "telemetry")
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self.memory_records: list[tuple[int, int]] = []
         self.branch_records: list[tuple[int, int, bool, int]] = []
+        #: Optional telemetry session.  Counts are reported in bulk at
+        #: :meth:`clear` — never per record, since the append hooks run
+        #: for every skipped instruction and must stay allocation-free.
+        self.telemetry = telemetry
 
     # -- hook factories (installed on FunctionalMachine.run) ---------------
 
@@ -114,5 +118,9 @@ class SkipRegionLog:
 
     def clear(self) -> None:
         """Discard the gap's data (called after every cluster)."""
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.count("log.memory_records", len(self.memory_records))
+            telemetry.count("log.branch_records", len(self.branch_records))
         self.memory_records.clear()
         self.branch_records.clear()

@@ -67,14 +67,17 @@ class ReverseStateReconstruction(WarmupMethod):
 
     def bind(self, context: SimulationContext) -> None:
         super().bind(context)
-        self.log = SkipRegionLog()
+        # The telemetry session is per run, so the log and reconstructors
+        # (which cache instruments from it) are rebuilt on every bind.
+        self.log = SkipRegionLog(telemetry=self.telemetry)
         self.cache_stats_history = []
         self._cache_reconstructor = ReverseCacheReconstructor(
-            context.hierarchy
+            context.hierarchy, telemetry=self.telemetry
         )
         self._branch_reconstructor = ReverseBranchReconstructor(
             context.predictor, table=self._table,
             infer_counters=self.infer_counters,
+            telemetry=self.telemetry,
         )
 
     # -- skip region: cold execution + logging -------------------------------

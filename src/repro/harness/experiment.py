@@ -240,6 +240,10 @@ def average_over_workloads(
         experiment.outcomes[method_name] for experiment in matrix.values()
     ]
     n = len(outcomes)
+    if n == 0:
+        # An empty grid (no workloads selected) has no meaningful
+        # averages; zeros keep report formatters total rather than raise.
+        return (0.0, 0.0, 0.0)
     return (
         sum(outcome.relative_error for outcome in outcomes) / n,
         sum(outcome.work_units for outcome in outcomes) / n,

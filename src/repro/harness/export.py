@@ -20,6 +20,8 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
     for workload_name, experiment in matrix.items():
         for method_name, outcome in experiment.outcomes.items():
             run = outcome.run
+            snapshot = run.extra.get("telemetry")
+            phases = snapshot.phase_seconds if snapshot is not None else {}
             rows.append({
                 "workload": workload_name,
                 "method": method_name,
@@ -39,6 +41,14 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
                 "predictor_updates": run.cost.predictor_updates,
                 "work_units": run.cost.work_units(),
                 "wall_seconds": run.wall_seconds,
+                # Telemetry phase split (None for untraced runs, so the
+                # column set is stable whether or not tracing was on).
+                "cold_skip_seconds": phases.get("cold_skip"),
+                "reconstruct_seconds": phases.get("reconstruct"),
+                "hot_sim_seconds": phases.get("hot_sim"),
+                "trace_records":
+                    len(snapshot.trace_records)
+                    if snapshot is not None else None,
             })
     return rows
 

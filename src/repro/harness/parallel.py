@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..sampling import SampledRunResult, SampledSimulator, SimulatorConfigs, TrueRunResult
+from ..telemetry import TelemetrySnapshot, collection_enabled, merge_snapshots
 from ..warmup.base import WarmupCost
 from ..workloads import PAPER_WORKLOADS, build_workload
 from .cache import ResultCache, cache_key
@@ -80,7 +81,12 @@ class CellSpec:
         return "cell"
 
     def key(self) -> str:
-        return cache_key("cell", self.workload_name, self.scale,
+        # Traced and untraced runs are cached under distinct keys: a
+        # result computed without telemetry carries no snapshot, and
+        # serving it to a traced grid would silently drop that cell from
+        # the merged profile (and vice versa would waste snapshot bytes).
+        kind = "cell+telemetry" if collection_enabled() else "cell"
+        return cache_key(kind, self.workload_name, self.scale,
                          self.configs, self.method_name)
 
 
@@ -195,6 +201,26 @@ def _execute_pool(pending, method_factory, results, emit, jobs) -> bool:
     finally:
         executor.shutdown()
     return True
+
+
+def merged_telemetry(
+    grid: dict[str, WorkloadExperiment],
+) -> TelemetrySnapshot | None:
+    """Fold every cell's telemetry snapshot into one run-level profile.
+
+    Each traced sampled run carries a picklable
+    :class:`~repro.telemetry.TelemetrySnapshot` in
+    ``SampledRunResult.extra`` — it crosses the worker process boundary
+    with the result, so merging here yields exactly the totals a serial
+    run of the same grid would accumulate (counters and phase seconds
+    sum; trace records are re-sorted into deterministic order).  Returns
+    None when no cell was traced.
+    """
+    return merge_snapshots(
+        outcome.run.extra.get("telemetry")
+        for experiment in grid.values()
+        for outcome in experiment.outcomes.values()
+    )
 
 
 def matrix_specs(

@@ -6,6 +6,7 @@ series the paper reports, ready to print from a bench or example.
 
 from __future__ import annotations
 
+from ..telemetry import PHASES, TelemetrySnapshot
 from .experiment import WorkloadExperiment, average_over_workloads
 
 
@@ -121,6 +122,74 @@ def format_per_workload(matrix: dict[str, WorkloadExperiment],
     return format_table(headers, rows, title=title)
 
 
+def format_telemetry_summary(snapshot: TelemetrySnapshot,
+                             title: str = "Telemetry profile") -> str:
+    """Render a run-level telemetry profile as three aligned tables.
+
+    Sections: wall-time share per phase (the cost split the paper's
+    speedup argument rests on), update/event counts per structure (every
+    counter the stack incremented), and per-method trace-record totals
+    (clusters traced, warm updates, log records, summed phase wall time).
+    """
+    sections = []
+
+    total_seconds = snapshot.total_phase_seconds()
+    phase_rows = []
+    ordered = [name for name in ("prefix", *PHASES)
+               if name in snapshot.phase_seconds]
+    ordered += [name for name in sorted(snapshot.phase_seconds)
+                if name not in ordered]
+    for name in ordered:
+        seconds = snapshot.phase_seconds[name]
+        share = seconds / total_seconds if total_seconds else 0.0
+        phase_rows.append([name, f"{seconds:.3f}s", f"{share * 100:.1f}%"])
+    phase_rows.append(["total", f"{total_seconds:.3f}s", "100.0%"])
+    sections.append(format_table(
+        ["phase", "seconds", "share"], phase_rows,
+        title=f"{title}: time per phase",
+    ))
+
+    if snapshot.counters:
+        counter_rows = [
+            [name, f"{value:,}"]
+            for name, value in sorted(snapshot.counters.items())
+        ]
+        sections.append(format_table(
+            ["metric", "count"], counter_rows,
+            title="Updates and events per structure",
+        ))
+
+    per_method: dict[str, dict[str, float]] = {}
+    for record in snapshot.trace_records:
+        if record.get("type") != "cluster":
+            continue
+        totals = per_method.setdefault(record.get("method", "?"), {
+            "clusters": 0, "warm_updates": 0, "log_records": 0,
+            "wall_seconds": 0.0,
+        })
+        totals["clusters"] += 1
+        totals["warm_updates"] += record.get("warm_updates", 0)
+        totals["log_records"] += record.get("log_records", 0)
+        totals["wall_seconds"] += record.get("wall_seconds", 0.0)
+    if per_method:
+        method_rows = [
+            [name,
+             f"{totals['clusters']:,}",
+             f"{totals['warm_updates']:,}",
+             f"{totals['log_records']:,}",
+             f"{totals['wall_seconds']:.3f}s"]
+            for name, totals in sorted(per_method.items())
+        ]
+        sections.append(format_table(
+            ["method", "clusters", "warm updates", "log records",
+             "cluster wall"],
+            method_rows,
+            title="Trace-record totals per method",
+        ))
+
+    return "\n\n".join(sections)
+
+
 def format_speedups(matrix: dict[str, WorkloadExperiment],
                     method_name: str, baseline: str = "S$BP",
                     title: str = "") -> str:
@@ -134,11 +203,16 @@ def format_speedups(matrix: dict[str, WorkloadExperiment],
         ratios.append(ratio)
         wall_ratios.append(wall_ratio)
         rows.append([name, f"{ratio:.2f}x", f"{wall_ratio:.2f}x"])
-    rows.append([
-        "AVG",
-        f"{sum(ratios) / len(ratios):.2f}x",
-        f"{sum(wall_ratios) / len(wall_ratios):.2f}x",
-    ])
+    if ratios:
+        rows.append([
+            "AVG",
+            f"{sum(ratios) / len(ratios):.2f}x",
+            f"{sum(wall_ratios) / len(wall_ratios):.2f}x",
+        ])
+    else:
+        # An empty grid still renders as a (headers-only + AVG dashes)
+        # table instead of dividing by zero.
+        rows.append(["AVG", "-", "-"])
     return format_table(
         ["workload", f"work speedup vs {baseline}",
          f"wall speedup vs {baseline}"],

@@ -16,6 +16,12 @@ from dataclasses import dataclass, field
 
 from ..branch import BranchPredictor, PredictorConfig, paper_predictor_config
 from ..cache import HierarchyConfig, MemoryHierarchy, paper_hierarchy_config
+from ..telemetry import (
+    PHASE_COLD_SKIP,
+    PHASE_HOT_SIM,
+    PHASE_RECONSTRUCT,
+    telemetry_from_env,
+)
 from ..timing import CoreConfig, TimingSimulator, paper_core_config
 from ..warmup.base import SimulationContext, WarmupCost, WarmupMethod
 from ..workloads import Workload
@@ -111,6 +117,7 @@ class SampledSimulator:
         configs: SimulatorConfigs | None = None,
         warmup_prefix: int = 0,
         detail_ramp: int = 0,
+        telemetry=None,
     ) -> None:
         self.workload = workload
         self.regimen = regimen
@@ -120,21 +127,40 @@ class SampledSimulator:
         #: extra leading instructions in full detail but excludes them from
         #: the measured IPC, hiding the empty-pipeline restart transient.
         self.detail_ramp = detail_ramp
+        #: Telemetry source: ``None`` resolves ``REPRO_TRACE`` /
+        #: ``REPRO_TELEMETRY`` per run; a zero-argument callable (e.g. the
+        #: :class:`~repro.telemetry.Telemetry` class itself) yields a
+        #: fresh session per run, so snapshots stay per-run even when the
+        #: same simulator runs several methods; a session instance is
+        #: shared across runs as-is (the caller owns its lifecycle).
+        self.telemetry = telemetry
+
+    def _telemetry_session(self):
+        source = self.telemetry
+        if source is None:
+            return telemetry_from_env()
+        if callable(source):
+            return source()
+        return source
 
     def run(self, method: WarmupMethod) -> SampledRunResult:
         """Execute the full sampled simulation with `method`."""
         configs = self.configs
+        telemetry = self._telemetry_session()
+        traced = telemetry.enabled
         machine = self.workload.make_machine()
         hierarchy = MemoryHierarchy(configs.hierarchy)
         predictor = BranchPredictor(configs.predictor)
         timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
-        steady_state_prefix(machine, hierarchy, predictor,
-                            self.warmup_prefix)
+        with telemetry.phase("prefix"):
+            steady_state_prefix(machine, hierarchy, predictor,
+                                self.warmup_prefix)
         context = SimulationContext(
             machine=machine,
             hierarchy=hierarchy,
             predictor=predictor,
             regimen=self.regimen,
+            telemetry=telemetry,
         )
         method.bind(context)
 
@@ -142,44 +168,81 @@ class SampledSimulator:
         detail_ramp = self.detail_ramp
         cluster_ipcs: list[float] = []
         position = 0
+        cost = method.cost
         start_time = time.perf_counter()
 
-        for cluster_start in self.regimen.cluster_starts():
+        for index, cluster_start in enumerate(self.regimen.cluster_starts()):
             # The detailed ramp borrows its instructions from the end of
             # the gap so cluster positions stay comparable across methods.
             ramp = min(detail_ramp, max(0, cluster_start - position))
             gap = cluster_start - position - ramp
-            if gap > 0:
-                method.skip(gap)
+            if traced:
+                telemetry.begin_cluster()
+                cost_before = cost.as_dict()
+            with telemetry.phase(PHASE_COLD_SKIP):
+                if gap > 0:
+                    method.skip(gap)
             position = cluster_start - ramp
-            hook = method.pre_cluster()
-            result = timing.run(
-                cluster_size + ramp, pre_branch_hook=hook,
-                measure_after=ramp,
-            )
-            method.post_cluster()
+            with telemetry.phase(PHASE_RECONSTRUCT):
+                hook = method.pre_cluster()
+            with telemetry.phase(PHASE_HOT_SIM):
+                result = timing.run(
+                    cluster_size + ramp, pre_branch_hook=hook,
+                    measure_after=ramp,
+                )
+            with telemetry.phase(PHASE_RECONSTRUCT):
+                method.post_cluster()
             position += result.instructions
-            method.cost.hot_instructions += result.instructions
+            cost.hot_instructions += result.instructions
             cluster_ipcs.append(result.ipc)
+            if traced:
+                cost_now = cost.as_dict()
+                deltas = {
+                    name: cost_now[name] - cost_before[name]
+                    for name in cost_now
+                }
+                telemetry.observe("cluster.ipc", result.ipc)
+                telemetry.observe("cluster.gap", gap)
+                telemetry.end_cluster({
+                    "workload": self.workload.name,
+                    "method": method.name,
+                    "cluster": index,
+                    "start": cluster_start,
+                    "gap": gap,
+                    "ramp": ramp,
+                    "instructions": result.instructions,
+                    "ipc": result.ipc,
+                    "warm_updates": (deltas["cache_updates"]
+                                     + deltas["predictor_updates"]),
+                    **deltas,
+                })
 
         wall_seconds = time.perf_counter() - start_time
         # Diagnostic: the instruction-weighted (harmonic / CPI-based)
         # estimate; the paper's estimator is the plain mean of cluster
-        # IPCs, which is what `estimate` reports.
+        # IPCs, which is what `estimate` reports.  A zero-cluster regimen
+        # (or any zero-IPC cluster) has no meaningful harmonic mean.
         harmonic = (
             len(cluster_ipcs) / sum(1.0 / ipc for ipc in cluster_ipcs)
-            if all(ipc > 0 for ipc in cluster_ipcs) else 0.0
+            if cluster_ipcs and all(ipc > 0 for ipc in cluster_ipcs)
+            else 0.0
         )
+        extra = {"harmonic_mean_ipc": harmonic,
+                 "warmup_prefix": self.warmup_prefix}
+        if traced:
+            telemetry.set_gauge("run.wall_seconds", wall_seconds)
+            telemetry.set_gauge("run.clusters", len(cluster_ipcs))
+            extra["telemetry"] = telemetry.snapshot()
+            telemetry.flush_trace()
         return SampledRunResult(
             workload_name=self.workload.name,
             method_name=method.name,
             regimen=self.regimen,
             cluster_ipcs=cluster_ipcs,
             estimate=cluster_estimate(cluster_ipcs),
-            cost=method.cost,
+            cost=cost,
             wall_seconds=wall_seconds,
-            extra={"harmonic_mean_ipc": harmonic,
-                   "warmup_prefix": self.warmup_prefix},
+            extra=extra,
         )
 
 

@@ -88,7 +88,6 @@ def select_variance_simpoints(
     ]
     clusters = [members for members in clusters if len(members)]
     # Proportional allocation, at least one draw per non-empty cluster.
-    remaining = num_points
     allocations = []
     for members in clusters:
         share = max(1, round(num_points * len(members) / num_intervals))

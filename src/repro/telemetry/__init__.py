@@ -1,0 +1,72 @@
+"""Telemetry: metrics, phase timers, and per-cluster tracing.
+
+Disabled by default at near-zero cost (the null backend); enabled per
+run by passing a :class:`Telemetry` factory to the controller, or
+globally via ``REPRO_TRACE=<path>`` / ``REPRO_TELEMETRY=1``.  See
+docs/observability.md for the metric catalogue and trace schema.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .session import (
+    METRIC_BLOCKS_RECONSTRUCTED,
+    METRIC_PHT_ENTRIES,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    PHASE_COLD_SKIP,
+    PHASE_HOT_SIM,
+    PHASE_RECONSTRUCT,
+    PHASES,
+    Telemetry,
+    telemetry_from_env,
+)
+from .snapshot import TelemetrySnapshot, merge_snapshots
+from .trace import (
+    COLLECT_ENV_VAR,
+    RECORD_CLUSTER,
+    TRACE_ENV_VAR,
+    append_trace,
+    collection_enabled,
+    format_trace_lines,
+    read_trace,
+    trace_path_from_env,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "telemetry_from_env",
+    "PHASES",
+    "PHASE_COLD_SKIP",
+    "PHASE_RECONSTRUCT",
+    "PHASE_HOT_SIM",
+    "METRIC_BLOCKS_RECONSTRUCTED",
+    "METRIC_PHT_ENTRIES",
+    "TelemetrySnapshot",
+    "merge_snapshots",
+    "TRACE_ENV_VAR",
+    "COLLECT_ENV_VAR",
+    "RECORD_CLUSTER",
+    "append_trace",
+    "write_trace",
+    "format_trace_lines",
+    "read_trace",
+    "trace_path_from_env",
+    "collection_enabled",
+]

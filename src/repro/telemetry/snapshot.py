@@ -1,0 +1,99 @@
+"""Picklable telemetry snapshots and their merge algebra.
+
+A snapshot is the frozen outcome of one telemetry session: counter
+totals, accumulated phase seconds, histogram summaries, gauge values,
+and the buffered per-cluster trace records.  Snapshots are built from
+plain dicts/lists/dataclasses, so they pickle across the parallel
+engine's process boundary unchanged — ``SampledRunResult.extra``
+carries one per traced run, and :func:`merge_snapshots` folds the
+per-cell snapshots back into a run-level profile that is identical
+whether the grid ran serially or fanned out over workers.
+
+Merge semantics: counters and phase seconds add; histograms combine
+their streaming summaries; gauges add (every gauge the stack sets is a
+per-run quantity — wall seconds, cluster counts — whose sum is the
+run-level total); trace records concatenate and are re-sorted into the
+deterministic (workload, method, cluster) order so the merged profile
+does not depend on worker completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import HistogramSummary
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Frozen, picklable outcome of one telemetry session."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    trace_records: list[dict] = field(default_factory=list)
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Combine two snapshots (see module docstring for semantics)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        histograms = dict(self.histograms)
+        for name, summary in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = summary if mine is None else mine.merge(summary)
+        phases = dict(self.phase_seconds)
+        for name, seconds in other.phase_seconds.items():
+            phases[name] = phases.get(name, 0.0) + seconds
+        records = sorted(
+            self.trace_records + other.trace_records, key=_record_order
+        )
+        return TelemetrySnapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            phase_seconds=phases,
+            trace_records=records,
+        )
+
+    def total_phase_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (histograms flattened to summaries)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: summary.to_dict()
+                for name, summary in self.histograms.items()
+            },
+            "phase_seconds": dict(self.phase_seconds),
+            "trace_records": list(self.trace_records),
+        }
+
+
+def _record_order(record: dict) -> tuple:
+    return (
+        record.get("workload", ""),
+        record.get("method", ""),
+        record.get("cluster", -1),
+    )
+
+
+def merge_snapshots(snapshots) -> TelemetrySnapshot | None:
+    """Fold an iterable of snapshots (Nones ignored) into one profile.
+
+    Returns None when nothing was collected — callers use that to skip
+    telemetry reporting entirely for untraced runs.
+    """
+    merged: TelemetrySnapshot | None = None
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        merged = snapshot if merged is None else merged.merge(snapshot)
+    return merged

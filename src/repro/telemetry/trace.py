@@ -1,0 +1,92 @@
+"""JSON-lines trace emission and parsing.
+
+One trace record is emitted per sampled cluster (``"type": "cluster"``)
+carrying the fields the paper's cost model argues about: where the
+cluster landed (start/gap/ramp), what the skip region buffered
+(``log_records``), what reconstruction actually touched
+(``blocks_reconstructed``, ``pht_entries_reconstructed``,
+``cache_updates``, ``predictor_updates``), how long each phase took
+(``cold_skip_seconds``, ``reconstruct_seconds``, ``hot_sim_seconds``),
+and what the cluster measured (``ipc``).  See docs/observability.md for
+the full schema.
+
+Records are buffered in memory by the telemetry session and written in
+one batch — never record-by-record — so tracing adds no per-cluster I/O
+and concurrent worker processes appending to the same ``REPRO_TRACE``
+file emit whole-line batches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Environment variable naming the JSON-lines trace file.  Setting it
+#: enables telemetry collection and appends each run's records to the
+#: file when the run finishes.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Environment variable enabling in-memory collection only (snapshots in
+#: ``SampledRunResult.extra``, no file): the parallel engine sets this in
+#: workers so the parent can merge and write one deterministic file.
+COLLECT_ENV_VAR = "REPRO_TELEMETRY"
+
+#: Record type emitted once per sampled cluster.
+RECORD_CLUSTER = "cluster"
+
+
+def format_trace_lines(records) -> str:
+    """Render records as JSON-lines text (one compact object per line)."""
+    return "".join(
+        json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        for record in records
+    )
+
+
+def append_trace(records, path: str) -> int:
+    """Append records to the JSON-lines file at `path`; returns count.
+
+    The whole batch is rendered first and written with a single
+    ``write`` call in append mode, keeping concurrent writers from
+    splicing lines into each other.
+    """
+    records = list(records)
+    if not records:
+        return 0
+    payload = format_trace_lines(records)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(payload)
+    return len(records)
+
+
+def write_trace(records, path: str) -> int:
+    """Write records to `path`, replacing any existing file."""
+    records = list(records)
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(format_trace_lines(records))
+    return len(records)
+
+
+def read_trace(path: str) -> list[dict]:
+    """Parse a JSON-lines trace file back into record dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def trace_path_from_env() -> str | None:
+    """The ``REPRO_TRACE`` path, or None when tracing is off."""
+    path = os.environ.get(TRACE_ENV_VAR, "").strip()
+    return path or None
+
+
+def collection_enabled() -> bool:
+    """True when either telemetry environment switch is on."""
+    if trace_path_from_env() is not None:
+        return True
+    flag = os.environ.get(COLLECT_ENV_VAR, "").strip().lower()
+    return flag not in ("", "0", "off", "false", "no")

@@ -18,7 +18,9 @@ Lifecycle per sampled run::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from ..telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -63,6 +65,16 @@ class WarmupCost:
     def warm_updates(self) -> int:
         return self.cache_updates + self.predictor_updates
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict rendering (telemetry snapshots, trace records)."""
+        return {
+            "functional_instructions": self.functional_instructions,
+            "hot_instructions": self.hot_instructions,
+            "log_records": self.log_records,
+            "cache_updates": self.cache_updates,
+            "predictor_updates": self.predictor_updates,
+        }
+
 
 @dataclass
 class SimulationContext:
@@ -72,6 +84,10 @@ class SimulationContext:
     hierarchy: object    # MemoryHierarchy
     predictor: object    # BranchPredictor
     regimen: object = None
+    #: Telemetry session for the current run (null backend by default);
+    #: methods and the core reconstruction paths report event counts
+    #: through it, the controller owns phase timers and trace records.
+    telemetry: object = field(default=NULL_TELEMETRY)
 
     @property
     def program(self):
@@ -92,11 +108,13 @@ class WarmupMethod:
     def __init__(self) -> None:
         self.context: SimulationContext | None = None
         self.cost = WarmupCost()
+        self.telemetry = NULL_TELEMETRY
 
     def bind(self, context: SimulationContext) -> None:
         """Attach to a fresh simulation; resets cost accounting."""
         self.context = context
         self.cost = WarmupCost()
+        self.telemetry = getattr(context, "telemetry", NULL_TELEMETRY)
 
     # -- skip-region handling ------------------------------------------------
 
@@ -132,8 +150,14 @@ class WarmupMethod:
 
     def _charge_updates(self, before: tuple[int, int]) -> None:
         cache_now, predictor_now = self._updates_now()
-        self.cost.cache_updates += cache_now - before[0]
-        self.cost.predictor_updates += predictor_now - before[1]
+        cache_delta = cache_now - before[0]
+        predictor_delta = predictor_now - before[1]
+        self.cost.cache_updates += cache_delta
+        self.cost.predictor_updates += predictor_delta
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("warmup.cache_updates", cache_delta)
+            telemetry.count("warmup.predictor_updates", predictor_delta)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

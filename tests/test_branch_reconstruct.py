@@ -8,7 +8,6 @@ overflow, counters whose history pins them).
 """
 
 import numpy as np
-import pytest
 
 from repro.branch import BranchPredictor, PredictorConfig
 from repro.core.branch_reconstruct import ReverseBranchReconstructor
@@ -131,11 +130,10 @@ class TestOnDemandCounters:
     def test_unseen_entry_left_stale_but_marked(self):
         log, _ = synth_log()
         predictor = BranchPredictor(config())
-        stale_value = predictor.pht.counters[0]
         reconstructor = ReverseBranchReconstructor(predictor)
         reconstructor.prepare(log)
-        # Demand an entry: the walk consumes the whole log; if entry 0 got
-        # no history its counter must be untouched yet marked done.
+        # Demand an entry: the walk consumes the whole log and must mark
+        # the entry done whether or not it found history for it.
         reconstructor.demand(0)
         assert predictor.pht.reconstructed[0]
 

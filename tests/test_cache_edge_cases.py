@@ -2,7 +2,6 @@
 write-back L1 hierarchies, and reconstruction under them."""
 
 import numpy as np
-import pytest
 
 from repro.cache import (
     BusConfig,

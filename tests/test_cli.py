@@ -102,3 +102,80 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "None" in out
         assert "S$BP" not in out.replace("true IPC", "")
+
+
+class TestTraceAndProfileParsing:
+    def test_sample_accepts_trace(self):
+        args = build_parser().parse_args(
+            ["sample", "ammp", "--trace", "out.jsonl"],
+        )
+        assert args.trace == "out.jsonl"
+
+    def test_matrix_accepts_trace(self):
+        args = build_parser().parse_args(
+            ["matrix", "--trace", "out.jsonl"],
+        )
+        assert args.trace == "out.jsonl"
+
+    def test_profile_command(self):
+        args = build_parser().parse_args(
+            ["profile", "gcc", "--method", "S$BP", "--scale", "ci"],
+        )
+        assert args.command == "profile"
+        assert args.method == ["S$BP"]
+        assert args.trace is None
+
+    def test_profile_requires_known_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "quake"])
+
+
+class TestFailurePaths:
+    """Bad input exits non-zero with a readable message, not a traceback."""
+
+    def test_unknown_workload_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sample", "quake"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "quake" in err
+
+    def test_unknown_method_readable_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["sample", "ammp", "--method", "Bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Bogus" in err
+        assert "Traceback" not in err
+
+    def test_invalid_scale_env_readable_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "huge")
+        assert main(["sample", "ammp", "--method", "None"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "huge" in err
+        assert "Traceback" not in err
+
+
+class TestTraceCommands:
+    def test_sample_trace_writes_jsonl(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        path = tmp_path / "trace.jsonl"
+        assert main(["sample", "ammp", "--method", "None",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "time per phase" in out
+        lines = [line for line in path.read_text().splitlines() if line]
+        assert len(lines) == 10  # one record per ci-tier cluster
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] == "cluster"
+
+    def test_profile_prints_phase_split(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["profile", "ammp", "--method", "None"]) == 0
+        out = capsys.readouterr().out
+        assert "time per phase" in out
+        assert "hot_sim" in out

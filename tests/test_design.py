@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.sampling import (
-    RegimenRecommendation,
     SampledSimulator,
     clusters_for_error,
     pilot_study,

@@ -1,6 +1,5 @@
 """Tests for SMARTS-style detailed warming (measurement ramp)."""
 
-import pytest
 
 from repro.branch import BranchPredictor, PredictorConfig
 from repro.cache import MemoryHierarchy, paper_hierarchy_config

@@ -126,3 +126,15 @@ class TestWorkloadExperimentDirect:
         experiment = run_workload_experiment("art", tiny_methods(), TINY)
         assert experiment.workload_name == "art"
         assert len(experiment.outcomes) == 3
+
+
+class TestEmptyGridGuards:
+    """An empty matrix must render/average gracefully, not divide by zero."""
+
+    def test_average_over_empty_matrix(self):
+        assert average_over_workloads({}, "S$BP") == (0.0, 0.0, 0.0)
+
+    def test_speedups_over_empty_matrix(self):
+        text = format_speedups({}, "R$BP (20%)")
+        assert "AVG" in text
+        assert "-" in text

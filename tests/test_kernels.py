@@ -171,7 +171,6 @@ class TestBranchMaze:
         builder.call(entry)
         builder.halt()
         machine = FunctionalMachine(builder.build())
-        maze_branch_index = None
         outcomes = []
 
         def branch_hook(pc, next_pc, inst, taken):

@@ -4,7 +4,7 @@ checkpointing."""
 import pytest
 
 from repro.functional import FunctionalMachine, Memory, to_signed
-from repro.isa import Opcode, ProgramBuilder
+from repro.isa import ProgramBuilder
 
 MASK64 = (1 << 64) - 1
 

@@ -28,7 +28,7 @@ class TestConditionalPrediction:
         # Re-point history at the trained pattern by replaying it.
         # After consistent training, a biased branch predicts taken via
         # some entry; check end-to-end through predict_and_update.
-        mispredicted = predictor.predict_and_update(10, inst, True, 50)
+        predictor.predict_and_update(10, inst, True, 50)
         # With an all-taken history the counters along the path saturate.
         assert predictor.stats.conditional_branches == 1
 

@@ -7,7 +7,6 @@ starting state.  (With partial streams the result is an approximation;
 with the full stream and allocate-on-reference semantics it is exact.)
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache import Cache, CacheConfig, WritePolicy

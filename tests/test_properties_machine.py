@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.functional import FunctionalMachine, to_signed
-from repro.isa import Opcode, ProgramBuilder
+from repro.isa import ProgramBuilder
 
 MASK64 = (1 << 64) - 1
 

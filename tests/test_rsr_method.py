@@ -178,7 +178,7 @@ class TestAccuracyAgainstSmarts:
         """For a pure-load workload, the full-log reverse reconstruction
         must reproduce the SMARTS-warmed L1D bit-exactly (the property
         test's guarantee, demonstrated end-to-end through the method)."""
-        from repro.functional import FunctionalMachine, Memory
+        from repro.functional import Memory
         from repro.isa import ProgramBuilder
         from repro.workloads import Workload
         import numpy as np

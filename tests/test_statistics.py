@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sampling import SampleEstimate, cluster_estimate, relative_error, Z_95
+from repro.sampling import cluster_estimate, relative_error, Z_95
 
 
 class TestClusterEstimate:

@@ -98,7 +98,6 @@ class TestFrequencyIndependentInvariants:
             b.load(2, 1, 0)
             b.addi(1, 1, 4096)
             b.jmp("top")
-        from repro.cache import HierarchyConfig
         import dataclasses
         fast_config = paper_hierarchy_config(scale=16)
         slow_config = dataclasses.replace(fast_config, memory_latency=300)

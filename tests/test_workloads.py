@@ -6,7 +6,6 @@ from repro.branch import BranchPredictor, PredictorConfig
 from repro.cache import MemoryHierarchy, paper_hierarchy_config
 from repro.workloads import (
     PAPER_WORKLOADS,
-    Workload,
     available_workloads,
     build_workload,
     init_pointer_chain,
