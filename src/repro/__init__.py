@@ -71,6 +71,10 @@ from .warmup import (
     paper_method_suite,
     paper_method_names,
     make_method,
+    register_method,
+    unregister_method,
+    resolve_method,
+    registered_method_names,
 )
 from .livepoints import LivePointLibrary, LivePointReplayResult
 from .cachesim import (
@@ -83,11 +87,16 @@ from .cachesim import (
 from .core import (
     ReverseStateReconstruction,
     SkipRegionLog,
+    CompactedSkipRegionLog,
+    ReconstructionSource,
+    make_source,
     ReverseCacheReconstructor,
     ReverseBranchReconstructor,
     CounterInferenceTable,
     default_table,
 )
+# The facade imports from the subpackages above, so it must come last.
+from .api import simulate, run_matrix, true_run
 
 __version__ = "1.0.0"
 
@@ -132,6 +141,10 @@ __all__ = [
     "paper_method_suite",
     "paper_method_names",
     "make_method",
+    "register_method",
+    "unregister_method",
+    "resolve_method",
+    "registered_method_names",
     "LivePointLibrary",
     "LivePointReplayResult",
     "ReferenceTrace",
@@ -141,8 +154,14 @@ __all__ = [
     "set_sampling_estimate",
     "ReverseStateReconstruction",
     "SkipRegionLog",
+    "CompactedSkipRegionLog",
+    "ReconstructionSource",
+    "make_source",
     "ReverseCacheReconstructor",
     "ReverseBranchReconstructor",
     "CounterInferenceTable",
     "default_table",
+    "simulate",
+    "run_matrix",
+    "true_run",
 ]

@@ -4,6 +4,9 @@ Commands
 --------
 workloads
     List the built-in SPEC2000-like workloads.
+methods
+    List the warm-up methods in the registry (Table 2 names plus any
+    registered via :func:`repro.warmup.register_method`).
 true-ipc WORKLOAD
     Full-trace detailed simulation (the accuracy baseline).
 sample WORKLOAD [--method NAME]...
@@ -14,7 +17,8 @@ simpoint WORKLOAD
     SimPoint analysis and simulation (paper Figure 9 style).
 matrix
     The full evaluation grid through the parallel engine, with on-disk
-    result caching (``--jobs``, ``--cache``; see docs/parallel-execution.md).
+    result caching (``--jobs``, ``--cache``, ``--method``, ``--workload``;
+    see docs/parallel-execution.md).
 profile WORKLOAD
     Sampled simulation with telemetry enabled: phase breakdown
     (cold_skip / reconstruct / hot_sim), per-structure update counts, and
@@ -41,7 +45,12 @@ from .harness import (
 )
 from .sampling import SampledSimulator
 from .simpoint import run_simpoints, select_simpoints
-from .warmup import SmartsWarmup, make_method, paper_method_names
+from .warmup import (
+    SmartsWarmup,
+    paper_method_names,
+    registered_method_names,
+    resolve_method,
+)
 from .workloads import available_workloads, build_workload
 
 
@@ -107,6 +116,19 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_methods(_args) -> int:
+    rows = []
+    for name in registered_method_names():
+        method = resolve_method(name)
+        rows.append([name, type(method).__name__])
+    print(format_table(
+        ["name", "class"], rows,
+        title="Registered warm-up methods "
+              "(aliases 'rsr' and 'smarts' also resolve)",
+    ))
+    return 0
+
+
 def cmd_true_ipc(args) -> int:
     scale = _resolve_scale(args)
     true_run = true_run_for(args.workload, scale)
@@ -131,7 +153,7 @@ def cmd_sample(args) -> int:
     results = []
     rows = []
     for method_name in args.method:
-        result = simulator.run(make_method(method_name))
+        result = simulator.run(resolve_method(method_name))
         results.append(result)
         rows.append([
             result.method_name,
@@ -225,6 +247,7 @@ def cmd_matrix(args) -> int:
     """Run the evaluation grid through the parallel engine."""
     import time
 
+    from .api import _RegistrySuite
     from .harness import console_progress, format_per_workload, save_matrix
     from .harness.parallel import run_matrix_parallel
     from .warmup import paper_method_suite
@@ -232,6 +255,19 @@ def cmd_matrix(args) -> int:
 
     scale = _resolve_scale(args)
     workloads = tuple(args.workload) if args.workload else available_workloads()
+    if args.method:
+        # Registry names are validated here, before any worker process
+        # launches; an unknown name raises the registry's ValueError and
+        # exits with status 2 from main().
+        suite_factory = _RegistrySuite(tuple(args.method))
+        display_names = []
+        for name in args.method:
+            canonical = resolve_method(name).name
+            if canonical not in display_names:
+                display_names.append(canonical)
+    else:
+        suite_factory = paper_method_suite
+        display_names = paper_method_names()
     cache = resolve_cache(
         None if args.cache == "auto" else args.cache, default="on"
     )
@@ -249,7 +285,7 @@ def cmd_matrix(args) -> int:
         os.environ[COLLECT_ENV_VAR] = "1"
     try:
         matrix = run_matrix_parallel(
-            paper_method_suite,
+            suite_factory,
             workload_names=workloads,
             scale=scale,
             jobs=args.jobs,
@@ -265,12 +301,12 @@ def cmd_matrix(args) -> int:
                 os.environ[COLLECT_ENV_VAR] = previous_collect
     elapsed = time.perf_counter() - start
     print(format_per_workload(
-        matrix, paper_method_names(), value="error",
+        matrix, display_names, value="error",
         title=f"Relative error ({scale.name} tier)",
     ))
     print()
     print(format_per_workload(
-        matrix, paper_method_names(), value="ci",
+        matrix, display_names, value="ci",
         title="95% confidence tests",
     ))
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
@@ -302,7 +338,7 @@ def cmd_profile(args) -> int:
     methods = args.method or ["S$BP", "R$BP (100%)"]
     snapshots = []
     for method_name in methods:
-        result = simulator.run(make_method(method_name))
+        result = simulator.run(resolve_method(method_name))
         snapshots.append(result.extra.get("telemetry"))
     merged = merge_snapshots(snapshots)
     print(format_telemetry_summary(
@@ -348,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "workloads", help="list built-in workloads",
     ).set_defaults(handler=cmd_workloads)
+
+    subparsers.add_parser(
+        "methods", help="list registered warm-up methods",
+    ).set_defaults(handler=cmd_methods)
 
     true_parser = subparsers.add_parser(
         "true-ipc", help="full-trace detailed simulation",
@@ -411,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", action="append", choices=available_workloads(),
         default=None,
         help="restrict the grid to this workload (repeatable; default: all)",
+    )
+    matrix_parser.add_argument(
+        "--method", action="append", default=None,
+        help="restrict the grid to this registered method name or alias "
+             "(repeatable; default: the full Table 2 suite)",
     )
     matrix_parser.add_argument(
         "--output", default=None,

@@ -1,0 +1,159 @@
+"""Stable high-level facade for sampled-simulation experiments.
+
+Two calls cover the common workflows:
+
+- :func:`simulate` — one workload, one warm-up method, one sampled run::
+
+      from repro.api import simulate
+      result = simulate("gcc", method="rsr")
+      print(result.estimate.mean)
+
+- :func:`run_matrix` — a methods-by-workloads grid with the parallel
+  harness (process fan-out, optional on-disk result cache)::
+
+      from repro.api import run_matrix
+      grid = run_matrix(methods=["S$BP", "R$BP (100%)"],
+                        workloads=["gcc", "twolf"], design="ci")
+
+Methods are named: anything registered in the warm-up registry resolves,
+including the case-insensitive aliases ``"rsr"`` (R$BP at 100%) and
+``"smarts"`` (S$BP); pass a :class:`~repro.warmup.WarmupMethod` instance
+to :func:`simulate` for full control.  The *design* selects the sampling
+regimen and microarchitecture: a scale preset name (``"ci"``,
+``"bench"``, ``"default"``, ``"full"``), an
+:class:`~repro.harness.ExperimentScale`, a bare
+:class:`~repro.sampling.SamplingRegimen` (paper-default
+microarchitecture, no warm-up prefix), or ``None`` for the
+``REPRO_EXPERIMENT_SCALE`` environment default.
+"""
+
+from __future__ import annotations
+
+from .harness.cache import resolve_cache
+from .harness.experiment import (
+    ExperimentScale,
+    SCALES,
+    scale_from_env,
+    true_run_for,
+)
+from .harness.parallel import run_matrix_parallel
+from .sampling import SampledRunResult, SampledSimulator, SamplingRegimen
+from .warmup import WarmupMethod, method_factory, resolve_method
+from .workloads import PAPER_WORKLOADS, Workload, build_workload
+
+
+def _resolve_design(design) -> ExperimentScale | SamplingRegimen:
+    if design is None:
+        return scale_from_env()
+    if isinstance(design, str):
+        try:
+            return SCALES[design]
+        except KeyError:
+            known = ", ".join(sorted(SCALES))
+            raise ValueError(
+                f"unknown design {design!r}; known: {known}"
+            ) from None
+    if isinstance(design, (ExperimentScale, SamplingRegimen)):
+        return design
+    raise TypeError(
+        "design must be a scale name, ExperimentScale, SamplingRegimen, "
+        f"or None, not {type(design).__name__}")
+
+
+class _RegistrySuite:
+    """Picklable method-suite factory resolving registry names per call.
+
+    The parallel harness ships the factory to worker processes, so it
+    must be a module-level class (closures do not pickle) and must
+    re-resolve names on the worker side (methods themselves may not
+    pickle).  Names are validated eagerly at construction so a typo
+    fails before any process fan-out.
+    """
+
+    def __init__(self, names: tuple[str, ...]) -> None:
+        for name in names:
+            method_factory(name)
+        self.names = tuple(names)
+
+    def __call__(self) -> list[WarmupMethod]:
+        return [resolve_method(name) for name in self.names]
+
+
+def simulate(workload, method="rsr", design=None, *,
+             configs=None, telemetry=None) -> SampledRunResult:
+    """Run one sampled simulation and return its
+    :class:`~repro.sampling.SampledRunResult`.
+
+    `workload` is a name or a :class:`~repro.workloads.Workload`;
+    `method` a registry name/alias or a ready
+    :class:`~repro.warmup.WarmupMethod` instance; `design` as described
+    in the module docstring.  `configs` overrides the design's
+    microarchitecture; `telemetry` is passed through to
+    :class:`~repro.sampling.SampledSimulator`.
+    """
+    design = _resolve_design(design)
+    if isinstance(design, ExperimentScale):
+        regimen = design.regimen()
+        configs = configs if configs is not None else design.configs()
+        warmup_prefix = design.warmup_prefix
+        detail_ramp = design.detail_ramp
+        mem_scale = design.mem_scale
+    else:
+        regimen = design
+        warmup_prefix = 0
+        detail_ramp = 0
+        mem_scale = 1
+    if not isinstance(workload, Workload):
+        workload = build_workload(workload, mem_scale=mem_scale)
+    if isinstance(method, str):
+        method = resolve_method(method)
+    simulator = SampledSimulator(
+        workload, regimen, configs,
+        warmup_prefix=warmup_prefix,
+        detail_ramp=detail_ramp,
+        telemetry=telemetry,
+    )
+    return simulator.run(method)
+
+
+def true_run(workload_name: str, design=None, *, configs=None):
+    """The full-trace detailed baseline for `workload_name` under a
+    design (scale presets only), cached per process."""
+    design = _resolve_design(design)
+    if not isinstance(design, ExperimentScale):
+        raise TypeError("true_run needs an ExperimentScale design "
+                        "(a preset name or instance)")
+    return true_run_for(workload_name, design, configs)
+
+
+def run_matrix(methods=None, workloads=PAPER_WORKLOADS, design=None, *,
+               configs=None, jobs=None, cache=None, progress=None):
+    """Run a methods-by-workloads grid through the parallel harness.
+
+    `methods` is a list of registry names (``None`` means the full
+    sixteen-method Table 2 suite); names are validated before any
+    worker process launches.  `design` must resolve to an
+    :class:`~repro.harness.ExperimentScale`.  `cache` accepts a
+    :class:`~repro.harness.ResultCache`, a directory path, or ``None``
+    (the ``REPRO_RESULT_CACHE`` environment default).  Returns
+    ``{workload_name: WorkloadExperiment}``.
+    """
+    design = _resolve_design(design)
+    if not isinstance(design, ExperimentScale):
+        raise TypeError("run_matrix needs an ExperimentScale design "
+                        "(a preset name or instance)")
+    if methods is None:
+        from .warmup import paper_method_suite
+
+        factory = paper_method_suite
+    else:
+        factory = _RegistrySuite(tuple(methods))
+    return run_matrix_parallel(
+        factory,
+        tuple(workloads),
+        scale=design,
+        configs=configs,
+        jobs=jobs,
+        cache=resolve_cache(cache),
+        progress=progress,
+    )

@@ -1,5 +1,12 @@
 """Reverse State Reconstruction — the paper's primary contribution."""
 
+from .source import (
+    ReconstructionSource,
+    make_source,
+    tail_cutoff,
+    COMPACTION_ENV_VAR,
+)
+from .compaction import CompactedSkipRegionLog
 from .logging import (
     SkipRegionLog,
     REF_LOAD,
@@ -22,11 +29,20 @@ from .cache_reconstruct import (
     ReverseCacheReconstructor,
     CacheReconstructionStats,
 )
-from .ras_reconstruct import reconstruct_ras, reconstruct_ras_contents
+from .ras_reconstruct import (
+    reconstruct_ras,
+    reconstruct_ras_contents,
+    reconstruct_ras_from_source,
+)
 from .branch_reconstruct import ReverseBranchReconstructor
 from .method import ReverseStateReconstruction
 
 __all__ = [
+    "ReconstructionSource",
+    "make_source",
+    "tail_cutoff",
+    "COMPACTION_ENV_VAR",
+    "CompactedSkipRegionLog",
     "SkipRegionLog",
     "REF_LOAD",
     "REF_STORE",
@@ -45,6 +61,7 @@ __all__ = [
     "CacheReconstructionStats",
     "reconstruct_ras",
     "reconstruct_ras_contents",
+    "reconstruct_ras_from_source",
     "ReverseBranchReconstructor",
     "ReverseStateReconstruction",
 ]

@@ -13,12 +13,25 @@ Responsibilities, in the order they run:
 4. **PHT counters** — reconstructed *on demand* during the next cluster:
    "as branches are encountered in the next cluster, the branch predictor
    is probed to determine if the entry has been reconstructed.  If not,
-   the entry is first reconstructed before hot execution continues.
-   During the traversal, branches that reference entries that are not
-   relevant to the current entry also are reconstructed" — implemented as
-   a cursor that walks the reverse log once, accumulating per-entry
-   reverse histories and finalising each entry through the a-priori
-   counter-inference table as soon as its history pins the counter.
+   the entry is first reconstructed before hot execution continues."
+
+Every input arrives through the :class:`~repro.core.source.
+ReconstructionSource` protocol.  For step 4 there are two engines:
+
+- **window mode** — a compacted source that indexed the PHT during
+  logging serves each entry's bounded reverse outcome window in O(1);
+  the counter-inference table resolves it to the same value the raw walk
+  would produce (an exact inference is insensitive to outcomes older
+  than its pin point, and the table truncates longer histories to its
+  window anyway).
+- **walker mode** — the raw fallback: a cursor walks the conditional
+  stream newest-to-oldest once per cluster, accumulating per-entry
+  reverse histories and finalising each entry as soon as its history
+  pins the counter.
+
+After the cluster, :meth:`drain` finalises the residue in both engines,
+so the counter state carried into later clusters is independent of the
+probe order and of the log representation.
 """
 
 from __future__ import annotations
@@ -26,8 +39,8 @@ from __future__ import annotations
 from ..branch import BranchPredictor
 from ..telemetry import NULL_TELEMETRY
 from .counter_table import CounterInferenceTable, default_table
-from .logging import BR_COND, BR_RET, SkipRegionLog
-from .ras_reconstruct import reconstruct_ras
+from .ras_reconstruct import reconstruct_ras_from_source
+from .source import ReconstructionSource
 
 
 class ReverseBranchReconstructor:
@@ -44,7 +57,10 @@ class ReverseBranchReconstructor:
         self.infer_counters = infer_counters
         self._conditionals: list[tuple[int, bool, int]] = []
         self._cursor = -1
-        #: entry index -> (history length, history bits, reverse-order).
+        #: Window mode: entry index -> (length, reverse-order bits), served
+        #: by a compacted source; None selects the walker fallback.
+        self._windows: dict[int, tuple[int, int]] | None = None
+        #: Walker mode: entry index -> (history length, bits, reverse-order).
         self._pending: dict[int, tuple[int, int]] = {}
         self.counter_writes = 0
         self.ras_entries_recovered = 0
@@ -60,74 +76,76 @@ class ReverseBranchReconstructor:
 
     # -- eager phase (immediately before the cluster) -----------------------
 
-    def prepare(self, log: SkipRegionLog, fraction: float = 1.0) -> None:
-        """Run the eager reconstruction steps and arm the on-demand cursor."""
+    def prepare(self, source: ReconstructionSource,
+                fraction: float = 1.0) -> None:
+        """Run the eager reconstruction steps and arm the on-demand engine."""
         predictor = self.predictor
         predictor.clear_reconstructed()
         self._pending = {}
         self.counter_writes = 0
         self.log_walk_steps = 0
 
-        tail = log.branch_tail(fraction)
-
         # --- step 1: global history register -----------------------------
         pht = predictor.pht
         history_bits = pht.history_bits
-        ghr = 0
-        age = 0
-        for position in range(len(tail) - 1, -1, -1):
-            pc, next_pc, taken, kind = tail[position]
-            if kind == BR_COND:
-                ghr |= int(taken) << age
-                age += 1
-                if age >= history_bits:
-                    break
-        if age:
+        outcomes = source.recent_conditional_outcomes(fraction, history_bits)
+        if outcomes:
+            ghr = 0
+            for age, taken in enumerate(outcomes):
+                ghr |= taken << age
             pht.set_history(ghr)
 
         # --- step 2: BTB, newest claimant wins ----------------------------
         btb = predictor.btb
         btb_writes = 0
-        for position in range(len(tail) - 1, -1, -1):
-            pc, next_pc, taken, kind = tail[position]
-            if kind == BR_RET or not taken:
-                continue
-            btb.reconstruct(pc, next_pc)
+        for pc, target in source.iter_btb_claims_reverse(fraction):
+            btb.reconstruct(pc, target)
             btb_writes += 1
         self._btb_counter.inc(btb_writes)
 
         # --- step 3: RAS ---------------------------------------------------
-        self.ras_entries_recovered = reconstruct_ras(predictor.ras, tail)
+        self.ras_entries_recovered = reconstruct_ras_from_source(
+            predictor.ras, source, fraction)
         self._ras_counter.inc(self.ras_entries_recovered)
 
-        # --- step 4: arm the on-demand PHT walker --------------------------
-        # Precompute the GHR in effect *before* each conditional branch in
-        # the tail (one forward pass; the GHR preceding the tail is
-        # unobservable and approximated as zero, which only affects the
-        # oldest `history_bits` conditionals of the tail).
-        conditionals = []
-        running = 0
-        mask = (1 << history_bits) - 1
-        for pc, next_pc, taken, kind in tail:
-            if kind != BR_COND:
-                continue
-            conditionals.append((pc, taken, running))
-            running = ((running << 1) | int(taken)) & mask
-        self._conditionals = conditionals
-        self._cursor = len(conditionals) - 1
+        # --- step 4: arm the on-demand PHT engine --------------------------
+        windows = source.pht_entry_windows(
+            fraction, pht.entries - 1, history_bits, self.table.max_history)
+        if windows is not None:
+            self._windows = windows
+            self._conditionals = []
+            self._cursor = -1
+            return
+        self._windows = None
+        # Walker fallback: the GHR in effect *before* each conditional of
+        # the tail (the GHR preceding the tail is unobservable and
+        # approximated as zero, which only affects the oldest
+        # `history_bits` conditionals of the tail).
+        self._conditionals = source.conditional_history(fraction,
+                                                        history_bits)
+        self._cursor = len(self._conditionals) - 1
 
     # -- on-demand phase (during the cluster) ------------------------------
 
     def demand(self, entry: int) -> None:
-        """Reconstruct PHT `entry`, walking the reverse log as far as needed.
+        """Reconstruct PHT `entry`.
 
-        Every other entry met along the way has its reverse history
-        extended and is finalised the moment the history pins its counter,
-        so the log is consumed exactly once per cluster.
+        Window mode pops the entry's precompacted reverse window and
+        resolves it in one table lookup.  Walker mode walks the reverse
+        log as far as needed; every other entry met along the way has its
+        reverse history extended and is finalised the moment the history
+        pins its counter, so the log is consumed exactly once per cluster.
         """
         pht = self.predictor.pht
         reconstructed = pht.reconstructed
         if reconstructed[entry]:
+            return
+        windows = self._windows
+        if windows is not None:
+            length, bits = windows.pop(entry, (0, 0))
+            self.log_walk_steps += length
+            self._walk_counter.inc(length)
+            self._finalize(entry, self.table.lookup(length, bits).value)
             return
         conditionals = self._conditionals
         pending = self._pending
@@ -171,13 +189,29 @@ class ReverseBranchReconstructor:
         pht.reconstructed[entry] = True
 
     def drain(self) -> None:
-        """Eager variant (ablation): consume the whole log immediately,
-        finalising every entry it mentions, instead of reconstructing on
-        demand during the cluster."""
+        """Finalise every log-mentioned entry not yet reconstructed.
+
+        Used eagerly (the on_demand=False ablation) and as the residual
+        pass after every cluster, so the counters carried into the next
+        cluster do not depend on which entries the cluster happened to
+        probe.  Entries already reconstructed — by a probe or by hot
+        training, which is authoritative — are left untouched.
+        """
         pht = self.predictor.pht
         reconstructed = pht.reconstructed
-        pending = self._pending
         table = self.table
+        windows = self._windows
+        if windows is not None:
+            steps = 0
+            for entry, (length, bits) in windows.items():
+                steps += length
+                if not reconstructed[entry]:
+                    self._finalize(entry, table.lookup(length, bits).value)
+            windows.clear()
+            self.log_walk_steps += steps
+            self._walk_counter.inc(steps)
+            return
+        pending = self._pending
         mask = pht.entries - 1
         cursor = self._cursor
         cursor_at_entry = cursor
@@ -200,7 +234,8 @@ class ReverseBranchReconstructor:
         self._cursor = cursor
         self._walk_counter.inc(cursor_at_entry - cursor)
         for entry, (length, bits) in list(pending.items()):
-            self._finalize(entry, table.lookup(length, bits).value)
+            if not reconstructed[entry]:
+                self._finalize(entry, table.lookup(length, bits).value)
         pending.clear()
 
     # -- hot-loop hook --------------------------------------------------------

@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cache import MemoryHierarchy
-from .logging import REF_INSTRUCTION, REF_STORE, SkipRegionLog
+from .logging import REF_INSTRUCTION, REF_STORE
+from .source import ReconstructionSource
 
 
 @dataclass
@@ -45,12 +46,18 @@ class ReverseCacheReconstructor:
         #: and skipped by the temporal-locality filter.
         self.telemetry = telemetry
 
-    def reconstruct(self, log: SkipRegionLog,
+    def reconstruct(self, source: ReconstructionSource,
                     fraction: float = 1.0) -> CacheReconstructionStats:
         """Rebuild L1I/L1D/L2 state from the most recent `fraction` of the
         logged reference stream.
 
-        Returns statistics on how many logged references actually changed
+        `source` supplies the newest-first reference iterator; a compacted
+        source yields only each block's winning reference, so `scanned`
+        then counts unique blocks rather than raw log length (the cache's
+        reconstructed bits make the extra raw references no-ops either
+        way, which is why both sources rebuild identical state).
+
+        Returns statistics on how many scanned references actually changed
         state — the savings relative to SMARTS, which applies them all.
         """
         hierarchy = self.hierarchy
@@ -62,16 +69,15 @@ class ReverseCacheReconstructor:
         l2.begin_reconstruction()
 
         stats = CacheReconstructionStats()
-        tail = log.memory_tail(fraction)
-        stats.scanned = len(tail)
+        scanned = 0
         applied = 0
         l1i_reconstruct = l1i.reconstruct_reference
         l1d_reconstruct = l1d.reconstruct_reference
         l2_reconstruct = l2.reconstruct_reference
 
         # "the reference stream is scanned in reverse order"
-        for position in range(len(tail) - 1, -1, -1):
-            address, kind = tail[position]
+        for address, kind in source.iter_memory_reverse(fraction):
+            scanned += 1
             if kind == REF_INSTRUCTION:
                 touched = l1i_reconstruct(address, False)
                 touched |= l2_reconstruct(address, False)
@@ -82,8 +88,9 @@ class ReverseCacheReconstructor:
             if touched:
                 applied += 1
 
+        stats.scanned = scanned
         stats.applied = applied
-        stats.skipped = stats.scanned - applied
+        stats.skipped = scanned - applied
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
             telemetry.count("reconstruct.refs_scanned", stats.scanned)

@@ -1,0 +1,343 @@
+"""Online skip-log compaction (the tentpole of the log API redesign).
+
+The raw :class:`~repro.core.logging.SkipRegionLog` buffers one tuple per
+skipped reference and lets the reconstructors rediscover, by reverse
+scan, that almost all of them are redundant: in reverse order "the first
+reference to a block wins" (paper §3.1), the BTB keeps one target per
+entry, the GHR needs only the newest ``history_bits`` outcomes, the RAS
+only the unmatched call tail, and the counter-inference table can consume
+at most ``max_history`` outcomes per PHT entry.
+
+:class:`CompactedSkipRegionLog` performs that dedup *while logging*, so
+both retention and reconstruction work become O(unique entries) instead
+of O(gap length):
+
+- **memory**: a last-touch index keyed by (cache block, instruction/data
+  domain).  Re-touching a block moves it to the end of the insertion
+  order, so iterating the index backwards replays exactly the surviving
+  (winning) references of a raw reverse scan, newest first.  Keying at
+  the finest line granularity in the hierarchy keeps the win exact for
+  every cache level; coarser-grained duplicates are absorbed by the
+  caches' own reconstructed bits, same as in the raw scan.
+- **BTB**: a last-touch index pc -> newest taken target.  Older claims by
+  the same pc lose to the newer one in a raw reverse scan anyway (the
+  entry is already reconstructed when they arrive), so dropping them
+  changes nothing.
+- **GHR**: a bounded deque of the newest ``history_bits`` conditional
+  outcomes, sequence-tagged so partial-fraction tails filter exactly.
+- **RAS**: the online unmatched-call stack.  A return pops the newest
+  outstanding call — the same pairing the reverse push/pop counter
+  discovers — so the surviving stack, filtered to the tail and read top
+  first, equals the counter algorithm's answer for every cutoff.
+- **PHT** (full-fraction tails only): per-entry packed reverse outcome
+  windows ``code = (length << max_history) | bits`` with bit 0 the
+  newest outcome, indexed by ``(pc ^ GHR) & mask`` with the same
+  zero-initialised online GHR the raw walker reconstructs.  The
+  counter-inference table resolves a window to the identical value the
+  raw newest-to-oldest walk produces, because an exact inference is
+  insensitive to outcomes older than its pin point.  Partial fractions
+  re-zero the walker's GHR at the tail start, which no online index can
+  anticipate, so those geometries keep a packed typed-array conditional
+  stream (8-byte pcs/positions plus 1-byte outcomes — ~6x denser than
+  raw tuples) and replay it through the fallback walker.
+
+Every query is bit-identical to the raw reverse scan; the equivalence is
+enforced by tests/test_properties_compaction.py and re-proved in
+docs/rsr-algorithm.md ("Online log compaction").
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections import deque
+
+from .logging import REF_INSTRUCTION, REF_LOAD, REF_STORE
+from .source import ReconstructionSource, tail_cutoff
+
+#: Deterministic per-slot byte model for :meth:`CompactedSkipRegionLog.
+#: stored_bytes` — fixed documented constants (dict slot + payload tuple
+#: for the last-touch indexes, deque/list slot + pair for outcome and RAS
+#: tails, dict slot + packed int for PHT windows, raw element widths for
+#: the typed-array conditional stream).  Like the raw log's model these
+#: are chosen, not measured, so storage telemetry is platform-stable.
+COMPACT_MEMORY_SLOT_BYTES = 120
+COMPACT_BTB_SLOT_BYTES = 120
+COMPACT_OUTCOME_BYTES = 72
+COMPACT_RAS_SLOT_BYTES = 72
+COMPACT_PHT_WINDOW_BYTES = 88
+COMPACT_CONDITIONAL_BYTES = 17
+
+
+class CompactedSkipRegionLog(ReconstructionSource):
+    """Skip-region log that dedups during cold simulation.
+
+    Geometry parameters size the last-touch indexes to the bound
+    simulation context (see :func:`repro.core.source.make_source`):
+    `line_bytes` is the finest cache-line granularity in the hierarchy,
+    `pht_entries`/`history_bits` mirror the gshare PHT, and `max_history`
+    is the counter-inference window depth.  `index_pht` enables the
+    per-entry outcome windows (exact only for full-fraction tails);
+    `store_conditionals` keeps the packed conditional stream needed to
+    replay partial-fraction tails.
+    """
+
+    __slots__ = (
+        "telemetry", "peak_stored_records", "peak_stored_bytes",
+        "_line_shift", "_pht_mask", "_history_bits", "_ghr_mask",
+        "_max_history", "_window_mask", "_index_pht", "_store_conditionals",
+        "_mem_index", "_mem_count", "_branch_count", "_btb_index",
+        "_outcomes", "_ras_stack", "_pht_windows", "_ghr",
+        "_cond_pcs", "_cond_taken", "_cond_positions",
+    )
+
+    def __init__(self, *, line_bytes: int = 64, pht_entries: int = 0,
+                 history_bits: int = 0, max_history: int = 0,
+                 index_pht: bool = False, store_conditionals: bool = False,
+                 telemetry=None) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        if index_pht:
+            if pht_entries <= 0 or pht_entries & (pht_entries - 1):
+                raise ValueError(
+                    "PHT indexing needs a positive power-of-two entry count")
+            if max_history <= 0:
+                raise ValueError("PHT indexing needs a positive window depth")
+        self._line_shift = line_bytes.bit_length() - 1
+        self._pht_mask = pht_entries - 1 if pht_entries else 0
+        self._history_bits = history_bits
+        self._ghr_mask = (1 << history_bits) - 1
+        self._max_history = max_history
+        self._window_mask = (1 << max_history) - 1
+        self._index_pht = index_pht
+        self._store_conditionals = store_conditionals
+        self.telemetry = telemetry
+        # Last-touch memory index: (block, domain) -> (seq, address, kind).
+        # del+reinsert on every touch keeps insertion order == last-touch
+        # order, so reversed() iteration is newest-first and sequence
+        # numbers decrease monotonically (tail cutoffs can early-break).
+        self._mem_index: dict[int, tuple[int, int, int]] = {}
+        self._mem_count = 0
+        self._branch_count = 0
+        self._btb_index: dict[int, tuple[int, int]] = {}
+        self._outcomes: deque = deque(maxlen=history_bits)
+        self._ras_stack: list[tuple[int, int]] = []
+        self._pht_windows: dict[int, int] = {}
+        self._ghr = 0
+        self._cond_pcs = array("q")
+        self._cond_taken = bytearray()
+        self._cond_positions = array("q")
+        self.peak_stored_records = 0
+        self.peak_stored_bytes = 0
+
+    # -- hook factories (the compaction hot path) ---------------------------
+
+    def make_mem_hook(self):
+        index = self._mem_index
+        shift = self._line_shift
+
+        def mem_hook(pc, next_pc, address, is_store):
+            # Data domain: even keys.  The newest reference's address and
+            # load/store kind are exactly what a raw reverse scan would
+            # apply for this block; older touches would be skipped.
+            key = (address >> shift) << 1
+            if key in index:
+                del index[key]
+            index[key] = (self._mem_count, address,
+                          REF_STORE if is_store else REF_LOAD)
+            self._mem_count += 1
+
+        return mem_hook
+
+    def make_ifetch_hook(self):
+        index = self._mem_index
+        shift = self._line_shift
+
+        def ifetch_hook(address):
+            # Instruction domain: odd keys.  Kept separate from data so a
+            # line fetched and loaded warms both L1I and L1D; the shared
+            # L2 dedups the pair through its reconstructed bits.
+            key = ((address >> shift) << 1) | 1
+            if key in index:
+                del index[key]
+            index[key] = (self._mem_count, address, REF_INSTRUCTION)
+            self._mem_count += 1
+
+        return ifetch_hook
+
+    def make_branch_hook(self):
+        outcomes = self._outcomes
+        btb_index = self._btb_index
+        ras_stack = self._ras_stack
+        windows = self._pht_windows
+        cond_pcs = self._cond_pcs
+        cond_taken = self._cond_taken
+        cond_positions = self._cond_positions
+        index_pht = self._index_pht
+        store_conditionals = self._store_conditionals
+        pht_mask = self._pht_mask
+        ghr_mask = self._ghr_mask
+        max_history = self._max_history
+        window_mask = self._window_mask
+
+        def branch_hook(pc, next_pc, inst, taken):
+            seq = self._branch_count
+            self._branch_count = seq + 1
+            if inst.is_cond_branch:
+                bit = 1 if taken else 0
+                outcomes.append((seq, bit))
+                if index_pht:
+                    # Same index the on-demand walker computes: pc XOR the
+                    # GHR in effect before this branch, zero at gap start.
+                    entry = (pc ^ self._ghr) & pht_mask
+                    code = windows.get(entry, 0)
+                    length = code >> max_history
+                    if length < max_history:
+                        length += 1
+                    # Shift older outcomes up; the newest lands at bit 0.
+                    windows[entry] = ((length << max_history)
+                                      | (((code << 1) | bit) & window_mask))
+                    self._ghr = ((self._ghr << 1) | bit) & ghr_mask
+                if store_conditionals:
+                    cond_pcs.append(pc)
+                    cond_taken.append(bit)
+                    cond_positions.append(seq)
+            elif inst.is_call:
+                ras_stack.append((seq, pc + 1))
+            elif inst.is_ret:
+                # A return consumes the newest outstanding call — the same
+                # pairing the reverse push/pop counter cancels — and never
+                # claims a BTB entry.
+                if ras_stack:
+                    ras_stack.pop()
+                return
+            if taken:
+                if pc in btb_index:
+                    del btb_index[pc]
+                btb_index[pc] = (seq, next_pc)
+
+        return branch_hook
+
+    # -- record accounting ---------------------------------------------------
+
+    def memory_record_count(self) -> int:
+        return self._mem_count
+
+    def branch_record_count(self) -> int:
+        return self._branch_count
+
+    def stored_records(self) -> int:
+        return (len(self._mem_index) + len(self._btb_index)
+                + len(self._outcomes) + len(self._ras_stack)
+                + len(self._pht_windows) + len(self._cond_positions))
+
+    def stored_bytes(self) -> int:
+        return (len(self._mem_index) * COMPACT_MEMORY_SLOT_BYTES
+                + len(self._btb_index) * COMPACT_BTB_SLOT_BYTES
+                + len(self._outcomes) * COMPACT_OUTCOME_BYTES
+                + len(self._ras_stack) * COMPACT_RAS_SLOT_BYTES
+                + len(self._pht_windows) * COMPACT_PHT_WINDOW_BYTES
+                + len(self._cond_positions) * COMPACT_CONDITIONAL_BYTES)
+
+    # -- consumer queries (each bit-identical to the raw reverse scan) ------
+
+    def iter_memory_reverse(self, fraction: float):
+        cutoff = tail_cutoff(self._mem_count, fraction)
+        for seq, address, kind in reversed(self._mem_index.values()):
+            if seq < cutoff:
+                break
+            yield address, kind
+
+    def recent_conditional_outcomes(self, fraction: float,
+                                    limit: int) -> list:
+        if limit > self._history_bits:
+            raise ValueError(
+                f"this compacted log keeps the newest {self._history_bits} "
+                f"conditional outcomes; {limit} were requested")
+        cutoff = tail_cutoff(self._branch_count, fraction)
+        recent: list[int] = []
+        for seq, bit in reversed(self._outcomes):
+            if seq < cutoff or len(recent) >= limit:
+                break
+            recent.append(bit)
+        return recent
+
+    def iter_btb_claims_reverse(self, fraction: float):
+        cutoff = tail_cutoff(self._branch_count, fraction)
+        for pc, (seq, target) in reversed(self._btb_index.items()):
+            if seq < cutoff:
+                break
+            yield pc, target
+
+    def ras_tail_contents(self, fraction: float, capacity: int) -> list:
+        cutoff = tail_cutoff(self._branch_count, fraction)
+        contents: list[int] = []
+        for seq, return_pc in reversed(self._ras_stack):
+            if seq < cutoff or len(contents) >= capacity:
+                break
+            contents.append(return_pc)
+        return contents
+
+    def pht_entry_windows(self, fraction: float, mask: int,
+                          history_bits: int, max_history: int):
+        if (not self._index_pht or fraction < 1.0
+                or mask != self._pht_mask
+                or history_bits != self._history_bits
+                or max_history > self._max_history):
+            return None
+        shift = self._max_history
+        window_mask = self._window_mask
+        return {entry: (code >> shift, code & window_mask)
+                for entry, code in self._pht_windows.items()}
+
+    def conditional_history(self, fraction: float,
+                            history_bits: int) -> list:
+        if not self._store_conditionals:
+            raise RuntimeError(
+                "this compacted log was built without the conditional-stream"
+                " fallback; construct it with store_conditionals=True to"
+                " replay partial-fraction tails")
+        cutoff = tail_cutoff(self._branch_count, fraction)
+        positions = self._cond_positions
+        start = bisect_left(positions, cutoff)
+        pcs = self._cond_pcs
+        taken = self._cond_taken
+        ghr_mask = (1 << history_bits) - 1
+        conditionals: list[tuple[int, int, int]] = []
+        running = 0
+        for position in range(start, len(positions)):
+            bit = taken[position]
+            conditionals.append((pcs[position], bit, running))
+            running = ((running << 1) | bit) & ghr_mask
+        return conditionals
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        stored = self.stored_records()
+        stored_bytes = self.stored_bytes()
+        if stored > self.peak_stored_records:
+            self.peak_stored_records = stored
+        if stored_bytes > self.peak_stored_bytes:
+            self.peak_stored_bytes = stored_bytes
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.count("log.memory_records", self._mem_count)
+            telemetry.count("log.branch_records", self._branch_count)
+            telemetry.count("log.stored_records", stored)
+            telemetry.count("log.stored_bytes", stored_bytes)
+            telemetry.observe("log.gap_stored_records", stored)
+            telemetry.observe("log.gap_stored_bytes", stored_bytes)
+        # The hook closures captured these containers, so they must be
+        # emptied in place — rebinding would silently orphan the hooks.
+        self._mem_index.clear()
+        self._btb_index.clear()
+        self._outcomes.clear()
+        self._ras_stack.clear()
+        self._pht_windows.clear()
+        del self._cond_pcs[:]
+        self._cond_taken.clear()
+        del self._cond_positions[:]
+        self._mem_count = 0
+        self._branch_count = 0
+        self._ghr = 0

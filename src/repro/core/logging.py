@@ -1,4 +1,4 @@
-"""Skip-region logging (paper §3).
+"""Skip-region logging (paper §3) — the raw tuple-list source.
 
 "While skipping between clusters, the data necessary for reconstruction
 are recorded."  During cold simulation the Reverse State Reconstruction
@@ -17,9 +17,17 @@ it happens for *every* skipped instruction, while reconstruction — the
 expensive part — touches only the log tail.  "To minimize the storage
 requirements of the algorithm, data are kept only for the current cluster
 of execution" — :meth:`SkipRegionLog.clear` is called after every cluster.
+
+:class:`SkipRegionLog` is the *raw* implementation of the
+:class:`~repro.core.source.ReconstructionSource` protocol: it retains the
+full reference streams and answers every reverse-scan query by walking
+them.  The online-compacted sibling lives in
+:mod:`repro.core.compaction`.
 """
 
 from __future__ import annotations
+
+from .source import ReconstructionSource, tail_cutoff
 
 #: Memory-record reference kinds.
 REF_LOAD = 0
@@ -32,9 +40,17 @@ BR_CALL = 1
 BR_RET = 2
 BR_JUMP = 3
 
+#: Deterministic per-record byte model for :meth:`SkipRegionLog.
+#: stored_bytes` (CPython-flavoured estimates — tuple header plus element
+#: references plus small-int overhead amortised).  Chosen constants, not
+#: ``sys.getsizeof`` probes, so storage telemetry is stable across
+#: platforms and runs.
+RAW_MEMORY_RECORD_BYTES = 88
+RAW_BRANCH_RECORD_BYTES = 112
 
-class SkipRegionLog:
-    """Buffered skip-region reference streams for one inter-cluster gap.
+
+class SkipRegionLog(ReconstructionSource):
+    """Buffered raw skip-region reference streams for one gap.
 
     Memory records are ``(address, kind)`` with kind one of REF_LOAD,
     REF_STORE, REF_INSTRUCTION.  Branch records are
@@ -43,7 +59,8 @@ class SkipRegionLog:
     reconstruction iterates them in reverse.
     """
 
-    __slots__ = ("memory_records", "branch_records", "telemetry")
+    __slots__ = ("memory_records", "branch_records", "telemetry",
+                 "peak_stored_records", "peak_stored_bytes")
 
     def __init__(self, telemetry=None) -> None:
         self.memory_records: list[tuple[int, int]] = []
@@ -52,6 +69,11 @@ class SkipRegionLog:
         #: :meth:`clear` — never per record, since the append hooks run
         #: for every skipped instruction and must stay allocation-free.
         self.telemetry = telemetry
+        #: Largest per-gap retention seen over the source's lifetime
+        #: (updated at :meth:`clear`; for the raw log, retention equals
+        #: the raw stream length).
+        self.peak_stored_records = 0
+        self.peak_stored_bytes = 0
 
     # -- hook factories (installed on FunctionalMachine.run) ---------------
 
@@ -90,7 +112,7 @@ class SkipRegionLog:
 
         return branch_hook
 
-    # -- consumption --------------------------------------------------------
+    # -- raw-stream access (kept for tests, benches, and analysis code) -----
 
     def memory_tail(self, fraction: float) -> list[tuple[int, int]]:
         """The most recent `fraction` of memory records (program order)."""
@@ -102,25 +124,107 @@ class SkipRegionLog:
 
     @staticmethod
     def _tail(records: list, fraction: float) -> list:
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        if fraction >= 1.0:
+        cutoff = tail_cutoff(len(records), fraction)
+        if cutoff <= 0:
             # A copy, never the live list: a consumer holding the tail
             # across clear() must not see it mutate underfoot.
             return records[:]
-        keep = int(round(len(records) * fraction))
-        if keep <= 0:
-            return []
-        return records[len(records) - keep:]
+        return records[cutoff:]
+
+    # -- ReconstructionSource: accounting -----------------------------------
+
+    def memory_record_count(self) -> int:
+        return len(self.memory_records)
+
+    def branch_record_count(self) -> int:
+        return len(self.branch_records)
 
     def record_count(self) -> int:
         return len(self.memory_records) + len(self.branch_records)
 
+    def stored_records(self) -> int:
+        """The raw log retains every record it observed."""
+        return self.record_count()
+
+    def stored_bytes(self) -> int:
+        return (len(self.memory_records) * RAW_MEMORY_RECORD_BYTES
+                + len(self.branch_records) * RAW_BRANCH_RECORD_BYTES)
+
+    # -- ReconstructionSource: reverse-scan queries --------------------------
+
+    def iter_memory_reverse(self, fraction: float):
+        records = self.memory_records
+        cutoff = tail_cutoff(len(records), fraction)
+        for position in range(len(records) - 1, cutoff - 1, -1):
+            yield records[position]
+
+    def recent_conditional_outcomes(self, fraction: float,
+                                    limit: int) -> list:
+        records = self.branch_records
+        cutoff = tail_cutoff(len(records), fraction)
+        outcomes: list[int] = []
+        for position in range(len(records) - 1, cutoff - 1, -1):
+            record = records[position]
+            if record[3] == BR_COND:
+                outcomes.append(int(record[2]))
+                if len(outcomes) >= limit:
+                    break
+        return outcomes
+
+    def iter_btb_claims_reverse(self, fraction: float):
+        records = self.branch_records
+        cutoff = tail_cutoff(len(records), fraction)
+        for position in range(len(records) - 1, cutoff - 1, -1):
+            pc, next_pc, taken, kind = records[position]
+            if kind == BR_RET or not taken:
+                continue
+            yield pc, next_pc
+
+    def ras_tail_contents(self, fraction: float, capacity: int) -> list:
+        from .ras_reconstruct import reconstruct_ras_contents
+
+        return reconstruct_ras_contents(self.branch_tail(fraction), capacity)
+
+    def pht_entry_windows(self, fraction: float, mask: int,
+                          history_bits: int, max_history: int):
+        """The raw log keeps no per-entry index; consumers replay the
+        conditional stream instead."""
+        return None
+
+    def conditional_history(self, fraction: float,
+                            history_bits: int) -> list:
+        records = self.branch_records
+        cutoff = tail_cutoff(len(records), fraction)
+        ghr_mask = (1 << history_bits) - 1
+        conditionals: list[tuple[int, int, int]] = []
+        running = 0
+        for position in range(cutoff, len(records)):
+            pc, _next_pc, taken, kind = records[position]
+            if kind != BR_COND:
+                continue
+            conditionals.append((pc, int(taken), running))
+            running = ((running << 1) | int(taken)) & ghr_mask
+        return conditionals
+
+    # -- lifecycle -----------------------------------------------------------
+
     def clear(self) -> None:
         """Discard the gap's data (called after every cluster)."""
+        memory = len(self.memory_records)
+        branch = len(self.branch_records)
+        stored = memory + branch
+        stored_bytes = self.stored_bytes()
+        if stored > self.peak_stored_records:
+            self.peak_stored_records = stored
+        if stored_bytes > self.peak_stored_bytes:
+            self.peak_stored_bytes = stored_bytes
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
-            telemetry.count("log.memory_records", len(self.memory_records))
-            telemetry.count("log.branch_records", len(self.branch_records))
+            telemetry.count("log.memory_records", memory)
+            telemetry.count("log.branch_records", branch)
+            telemetry.count("log.stored_records", stored)
+            telemetry.count("log.stored_bytes", stored_bytes)
+            telemetry.observe("log.gap_stored_records", stored)
+            telemetry.observe("log.gap_stored_bytes", stored_bytes)
         self.memory_records.clear()
         self.branch_records.clear()

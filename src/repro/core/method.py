@@ -21,6 +21,7 @@ from .branch_reconstruct import ReverseBranchReconstructor
 from .cache_reconstruct import CacheReconstructionStats, ReverseCacheReconstructor
 from .counter_table import CounterInferenceTable
 from .logging import SkipRegionLog
+from .source import make_source
 
 
 class ReverseStateReconstruction(WarmupMethod):
@@ -34,6 +35,7 @@ class ReverseStateReconstruction(WarmupMethod):
         table: CounterInferenceTable | None = None,
         on_demand: bool = True,
         infer_counters: bool = True,
+        source: str = "auto",
     ) -> None:
         super().__init__()
         if not 0.0 < fraction <= 1.0:
@@ -48,6 +50,10 @@ class ReverseStateReconstruction(WarmupMethod):
         #: False` skips counter inference (GHR/BTB/RAS repair only).
         self.on_demand = on_demand
         self.infer_counters = infer_counters
+        #: Skip-log source kind: "auto" (the REPRO_LOG_COMPACTION env var,
+        #: default compacted), "compacted", "raw", or a zero-argument
+        #: factory returning a ready ReconstructionSource.
+        self.source = source
         self.warms_cache = warm_cache
         self.warms_predictor = warm_predictor
         percent = int(round(fraction * 100))
@@ -58,6 +64,8 @@ class ReverseStateReconstruction(WarmupMethod):
         else:
             self.name = "RBP"
 
+        #: Placeholder until bind(); a compacted source needs the context's
+        #: geometry, so the real source is built per run.
         self.log = SkipRegionLog()
         self._cache_reconstructor: ReverseCacheReconstructor | None = None
         self._branch_reconstructor: ReverseBranchReconstructor | None = None
@@ -69,7 +77,15 @@ class ReverseStateReconstruction(WarmupMethod):
         super().bind(context)
         # The telemetry session is per run, so the log and reconstructors
         # (which cache instruments from it) are rebuilt on every bind.
-        self.log = SkipRegionLog(telemetry=self.telemetry)
+        self.log = make_source(
+            self.source,
+            context=context,
+            fraction=self.fraction,
+            warm_cache=self.warm_cache,
+            warm_predictor=self.warm_predictor,
+            table=self._table,
+            telemetry=self.telemetry,
+        )
         self.cache_stats_history = []
         self._cache_reconstructor = ReverseCacheReconstructor(
             context.hierarchy, telemetry=self.telemetry
@@ -135,6 +151,12 @@ class ReverseStateReconstruction(WarmupMethod):
 
     def post_cluster(self) -> None:
         if self.warm_predictor:
+            # Residual finalisation: entries the cluster never probed are
+            # resolved now, so the counter state carried into later
+            # clusters is independent of the probe order and of the log
+            # representation (raw walker vs compacted windows).  Entries
+            # the cluster trained stay authoritative.
+            self._branch_reconstructor.drain()
             # On-demand counter writes happened during the hot cluster.
             self.cost.predictor_updates += (
                 self._branch_reconstructor.counter_writes

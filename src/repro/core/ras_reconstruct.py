@@ -58,3 +58,17 @@ def reconstruct_ras(ras: ReturnAddressStack,
     contents = reconstruct_ras_contents(branch_records, ras.size)
     ras.set_contents(contents)
     return len(contents)
+
+
+def reconstruct_ras_from_source(ras: ReturnAddressStack, source,
+                                fraction: float = 1.0) -> int:
+    """Rebuild `ras` from a :class:`~repro.core.source.ReconstructionSource`.
+
+    The source answers the push/pop counter question directly: a raw log
+    replays its branch tail through :func:`reconstruct_ras_contents`, a
+    compacted log reads its online unmatched-call stack.  Returns the
+    number of entries recovered.
+    """
+    contents = source.ras_tail_contents(fraction, ras.size)
+    ras.set_contents(contents)
+    return len(contents)

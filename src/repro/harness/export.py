@@ -12,6 +12,7 @@ import io
 import json
 
 from .experiment import WorkloadExperiment
+from .reporting import compaction_stats
 
 
 def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
@@ -22,6 +23,12 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
             run = outcome.run
             snapshot = run.extra.get("telemetry")
             phases = snapshot.phase_seconds if snapshot is not None else {}
+            log_stats = (
+                compaction_stats(snapshot)
+                if snapshot is not None
+                and "log.stored_records" in snapshot.counters
+                else {}
+            )
             rows.append({
                 "workload": workload_name,
                 "method": method_name,
@@ -49,6 +56,12 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
                 "trace_records":
                     len(snapshot.trace_records)
                     if snapshot is not None else None,
+                # Skip-log retention (None for untraced runs, same
+                # stable-column rationale as the phase split above).
+                "log_raw_records": log_stats.get("raw_records"),
+                "log_stored_records": log_stats.get("stored_records"),
+                "log_stored_bytes": log_stats.get("stored_bytes"),
+                "log_dedup_ratio": log_stats.get("dedup_ratio"),
             })
     return rows
 

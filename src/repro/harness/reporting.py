@@ -159,6 +159,9 @@ def format_telemetry_summary(snapshot: TelemetrySnapshot,
             title="Updates and events per structure",
         ))
 
+    if "log.stored_records" in snapshot.counters:
+        sections.append(_format_compaction_section(snapshot))
+
     per_method: dict[str, dict[str, float]] = {}
     for record in snapshot.trace_records:
         if record.get("type") != "cluster":
@@ -188,6 +191,55 @@ def format_telemetry_summary(snapshot: TelemetrySnapshot,
         ))
 
     return "\n\n".join(sections)
+
+
+def compaction_stats(snapshot: TelemetrySnapshot) -> dict:
+    """Skip-log retention figures from a traced run's counters.
+
+    Returns raw/stored record counts, stored bytes, the dedup ratio
+    (raw observed records per stored record; ``None`` when nothing was
+    stored), and per-gap peaks from the retention histograms (``None``
+    when no gap was recorded).
+    """
+    counters = snapshot.counters
+    raw = (counters.get("log.memory_records", 0)
+           + counters.get("log.branch_records", 0))
+    stored = counters.get("log.stored_records", 0)
+    records_hist = snapshot.histograms.get("log.gap_stored_records")
+    bytes_hist = snapshot.histograms.get("log.gap_stored_bytes")
+    return {
+        "raw_records": raw,
+        "stored_records": stored,
+        "stored_bytes": counters.get("log.stored_bytes", 0),
+        "dedup_ratio": raw / stored if stored else None,
+        "peak_gap_records":
+            int(records_hist.max)
+            if records_hist is not None and records_hist.count else None,
+        "peak_gap_bytes":
+            int(bytes_hist.max)
+            if bytes_hist is not None and bytes_hist.count else None,
+    }
+
+
+def _format_compaction_section(snapshot: TelemetrySnapshot) -> str:
+    stats = compaction_stats(snapshot)
+    ratio = stats["dedup_ratio"]
+    rows = [
+        ["raw records observed", f"{stats['raw_records']:,}"],
+        ["records stored", f"{stats['stored_records']:,}"],
+        ["dedup ratio", f"{ratio:.2f}x" if ratio is not None else "-"],
+        ["bytes stored", f"{stats['stored_bytes']:,}"],
+        ["peak gap records",
+         f"{stats['peak_gap_records']:,}"
+         if stats["peak_gap_records"] is not None else "-"],
+        ["peak gap bytes",
+         f"{stats['peak_gap_bytes']:,}"
+         if stats["peak_gap_bytes"] is not None else "-"],
+    ]
+    return format_table(
+        ["figure", "value"], rows,
+        title="Skip-log compaction",
+    )
 
 
 def format_speedups(matrix: dict[str, WorkloadExperiment],

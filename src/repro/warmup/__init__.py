@@ -12,6 +12,13 @@ from .suite import (
     PAPER_FRACTIONS,
     REVERSE_FRACTIONS,
 )
+from .registry import (
+    register_method,
+    unregister_method,
+    resolve_method,
+    method_factory,
+    registered_method_names,
+)
 
 __all__ = [
     "WarmupMethod",
@@ -28,4 +35,9 @@ __all__ = [
     "make_method",
     "PAPER_FRACTIONS",
     "REVERSE_FRACTIONS",
+    "register_method",
+    "unregister_method",
+    "resolve_method",
+    "method_factory",
+    "registered_method_names",
 ]

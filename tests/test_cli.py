@@ -73,6 +73,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["matrix", "--workload", "quake"])
 
+    def test_matrix_collects_methods(self):
+        args = build_parser().parse_args(
+            ["matrix", "--method", "rsr", "--method", "S$BP"],
+        )
+        assert args.method == ["rsr", "S$BP"]
+
+    def test_methods_command(self):
+        args = build_parser().parse_args(["methods"])
+        assert args.command == "methods"
+
 
 class TestCommands:
     def test_workloads_lists_all_nine(self, capsys):
@@ -102,6 +112,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "None" in out
         assert "S$BP" not in out.replace("true IPC", "")
+
+    def test_sample_resolves_registry_alias(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["sample", "ammp", "--method", "rsr"]) == 0
+        out = capsys.readouterr().out
+        assert "R$BP (100%)" in out
+
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("None", "S$BP", "R$BP (100%)", "RBP"):
+            assert name in out
+
+    def test_matrix_method_subset(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["matrix", "--workload", "ammp", "--method", "rsr",
+                     "--jobs", "1", "--cache", str(tmp_path / "cache"),
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "R$BP (100%)" in out  # alias shown under its canonical name
+        assert "S$BP" not in out
+
+    def test_matrix_unknown_method_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["matrix", "--workload", "ammp", "--method", "Bogus",
+                     "--jobs", "1", "--cache", "off", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Bogus" in err
+        assert "Traceback" not in err
 
 
 class TestTraceAndProfileParsing:
@@ -179,3 +219,17 @@ class TestTraceCommands:
         out = capsys.readouterr().out
         assert "time per phase" in out
         assert "hot_sim" in out
+
+    def test_profile_surfaces_compaction_section(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["profile", "ammp", "--method", "rsr"]) == 0
+        out = capsys.readouterr().out
+        assert "Skip-log compaction" in out
+        assert "dedup ratio" in out
+        assert "peak gap records" in out
+
+    def test_profile_without_log_omits_compaction(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["profile", "ammp", "--method", "None"]) == 0
+        out = capsys.readouterr().out
+        assert "Skip-log compaction" not in out

@@ -49,6 +49,30 @@ class TestRows:
         assert row["cache_updates"] > 0
         assert row["work_units"] > 0
 
+    def test_compaction_columns_stable_when_untraced(self, matrix):
+        # Untraced runs still carry the skip-log columns (as None) so
+        # the CSV/JSON schema does not depend on tracing being enabled.
+        for row in matrix_rows(matrix):
+            for column in ("log_raw_records", "log_stored_records",
+                           "log_stored_bytes", "log_dedup_ratio"):
+                assert column in row
+                assert row[column] is None
+
+    def test_compaction_columns_populated_when_traced(self, monkeypatch):
+        from repro.telemetry import COLLECT_ENV_VAR
+
+        monkeypatch.setenv(COLLECT_ENV_VAR, "1")
+        traced = run_matrix(
+            lambda: [ReverseStateReconstruction(1.0)],
+            workload_names=("ammp",),
+            scale=TINY,
+        )
+        row = matrix_rows(traced)[0]
+        assert row["log_raw_records"] > 0
+        assert 0 < row["log_stored_records"] <= row["log_raw_records"]
+        assert row["log_stored_bytes"] > 0
+        assert row["log_dedup_ratio"] >= 1.0
+
 
 class TestFormats:
     def test_csv_parses_back(self, matrix):
