@@ -65,7 +65,7 @@ def test_figure2_bulk_reconstruction_rates(benchmark):
     rng = np.random.default_rng(7)
     log = SkipRegionLog()
     window = 0
-    for position in range(20_000):
+    for _position in range(20_000):
         window += 1
         offset = int(rng.integers(0, 512))
         address = ((window // 16 + offset) % 4096) * 64

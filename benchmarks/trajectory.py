@@ -1,0 +1,235 @@
+"""Benchmark-trajectory tracker: collect BENCH_*.json, gate regressions.
+
+Every perf-bench PR leaves a ``BENCH_<tag>.json`` record at the repo
+root (see ``benchmarks/test_perf_*.py``).  Those records accumulate into
+a *trajectory*: the sequence of headline metrics the reproduction has
+achieved so far.  This module normalises the current set of BENCH files
+into one artifact and compares it against the previous PR's committed
+baseline (``benchmarks/TRAJECTORY.json``), failing loudly — exit status
+2 with a readable diff — when a tracked metric regresses beyond a
+threshold.
+
+Stdlib only, runnable directly (no repro import, no pytest):
+
+    python benchmarks/trajectory.py collect --root . --output traj.json
+    python benchmarks/trajectory.py gate --root . \
+        --baseline benchmarks/TRAJECTORY.json --threshold 0.15
+
+Metric direction is inferred from the name.  Cost-like markers
+(``overhead``, ``seconds``, ``error``, ``microseconds``, ``stale``) mean
+lower-is-better and are checked *first*, so ``audit_on_overhead_ratio``
+gates as a cost even though it ends in ``_ratio``; otherwise ``_ratio``
+/ ``speedup`` / ``agreement`` names gate as higher-is-better, booleans
+must not flip true -> false, and anything else is recorded but not
+gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "repro-trajectory-v1"
+
+#: Substrings marking a lower-is-better (cost-like) metric.  Checked
+#: before the higher-is-better suffix rules.
+LOWER_IS_BETTER_MARKERS = (
+    "overhead", "seconds", "error", "microseconds", "stale",
+)
+
+#: Name fragments marking a higher-is-better (benefit-like) metric.
+HIGHER_IS_BETTER_MARKERS = ("_ratio", "speedup", "agreement", "exact")
+
+
+def metric_direction(name: str) -> str:
+    """'lower', 'higher', or 'none' (recorded but never gated)."""
+    lowered = name.lower()
+    if any(marker in lowered for marker in LOWER_IS_BETTER_MARKERS):
+        return "lower"
+    if any(marker in lowered for marker in HIGHER_IS_BETTER_MARKERS):
+        return "higher"
+    return "none"
+
+
+def collect(root: str) -> dict:
+    """Normalise every ``BENCH_*.json`` under `root` into a trajectory.
+
+    Each file contributes one entry keyed by its ``<tag>`` (the filename
+    between ``BENCH_`` and ``.json``), holding the bench name, scale,
+    and the scalar metrics of its ``summary`` block.  The payload is
+    deterministic — no timestamps — so committing it produces stable
+    diffs.
+    """
+    benches: dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        tag = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        metrics = {
+            name: value
+            for name, value in payload.get("summary", {}).items()
+            if isinstance(value, (bool, int, float))
+        }
+        benches[tag] = {
+            "bench": payload.get("bench", tag),
+            "scale": payload.get("scale"),
+            "metrics": metrics,
+        }
+    return {"schema": SCHEMA, "benches": benches}
+
+
+def _is_regression(direction: str, baseline, current,
+                   threshold: float) -> bool:
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        # A boolean guarantee (e.g. identical_results) must never flip
+        # from true to false; false -> true is an improvement.
+        return bool(baseline) and not bool(current)
+    if direction == "none":
+        return False
+    if baseline == 0:
+        # No relative scale to speak of: gate on absolute movement.
+        delta = current - baseline
+        worse = delta if direction == "lower" else -delta
+        return worse > threshold
+    if direction == "lower":
+        return current > baseline * (1.0 + threshold)
+    return current < baseline * (1.0 - threshold)
+
+
+def gate(current: dict, baseline: dict, threshold: float) -> tuple[int, str]:
+    """Compare trajectories; return (exit status, readable report).
+
+    Exit status 2 when any tracked metric regresses beyond `threshold`
+    (relative, e.g. 0.15 = 15%).  New benches and new metrics pass (the
+    trajectory is allowed to grow); benches that vanished are reported
+    as warnings but do not fail the gate on their own.
+    """
+    lines: list[str] = []
+    regressions: list[str] = []
+    current_benches = current.get("benches", {})
+    baseline_benches = baseline.get("benches", {})
+
+    for tag in sorted(set(baseline_benches) - set(current_benches)):
+        lines.append(f"warning: bench '{tag}' present in baseline but "
+                     f"missing from current run")
+    for tag in sorted(set(current_benches) - set(baseline_benches)):
+        lines.append(f"new bench '{tag}' (no baseline; not gated)")
+
+    for tag in sorted(set(current_benches) & set(baseline_benches)):
+        base_metrics = baseline_benches[tag].get("metrics", {})
+        cur_metrics = current_benches[tag].get("metrics", {})
+        for name in sorted(set(base_metrics) | set(cur_metrics)):
+            if name not in cur_metrics:
+                lines.append(f"warning: {tag}.{name} missing from "
+                             f"current run")
+                continue
+            if name not in base_metrics:
+                lines.append(f"new metric {tag}.{name} = "
+                             f"{cur_metrics[name]} (not gated)")
+                continue
+            base, cur = base_metrics[name], cur_metrics[name]
+            direction = metric_direction(name)
+            if _is_regression(direction, base, cur, threshold):
+                if isinstance(base, bool):
+                    bound = "boolean guarantee, must stay true"
+                elif direction == "lower":
+                    bound = (f"lower-is-better, max allowed "
+                             f"{base * (1.0 + threshold):g}")
+                else:
+                    bound = (f"higher-is-better, min allowed "
+                             f"{base * (1.0 - threshold):g}")
+                regressions.append(
+                    f"REGRESSION {tag}.{name}: {base!r} -> {cur!r} "
+                    f"({bound})"
+                )
+            else:
+                lines.append(f"ok {tag}.{name}: {base!r} -> {cur!r}")
+
+    if regressions:
+        report = "\n".join(regressions + lines)
+        report += (f"\n\ntrajectory gate FAILED: {len(regressions)} "
+                   f"metric(s) regressed beyond "
+                   f"{threshold:.0%} of baseline")
+        return 2, report
+    report = "\n".join(lines)
+    report += "\n\ntrajectory gate passed"
+    return 0, report
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def _dump(payload: dict, path: str | None) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path is None:
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trajectory",
+        description="collect BENCH_*.json records and gate regressions",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    collect_parser = subparsers.add_parser(
+        "collect", help="normalise BENCH_*.json into a trajectory file",
+    )
+    collect_parser.add_argument(
+        "--root", default=".", help="directory holding BENCH_*.json",
+    )
+    collect_parser.add_argument(
+        "--output", default=None,
+        help="write the trajectory here (default: stdout)",
+    )
+
+    gate_parser = subparsers.add_parser(
+        "gate", help="fail (exit 2) if metrics regressed vs a baseline",
+    )
+    gate_parser.add_argument(
+        "--baseline", required=True,
+        help="previous trajectory file (e.g. benchmarks/TRAJECTORY.json)",
+    )
+    gate_parser.add_argument(
+        "--root", default=".",
+        help="collect the current trajectory from this directory",
+    )
+    gate_parser.add_argument(
+        "--current", default=None,
+        help="gate this pre-collected trajectory file instead of "
+             "collecting from --root",
+    )
+    gate_parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed relative slack before a metric counts as "
+             "regressed (default: 0.15)",
+    )
+    gate_parser.add_argument(
+        "--output", default=None,
+        help="also write the current trajectory here",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "collect":
+        _dump(collect(args.root), args.output)
+        return 0
+
+    current = (_load(args.current) if args.current
+               else collect(args.root))
+    if args.output:
+        _dump(current, args.output)
+    status, report = gate(current, _load(args.baseline), args.threshold)
+    print(report)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,12 @@ profile WORKLOAD
     Sampled simulation with telemetry enabled: phase breakdown
     (cold_skip / reconstruct / hot_sim), per-structure update counts, and
     per-method trace totals (see docs/observability.md).
+audit WORKLOAD
+    Accuracy audit: per-cluster divergence of reconstructed state from a
+    perfectly warmed reference (cache/PHT/BTB/RAS agreement, inference
+    ambiguity) and the cold-start vs sampling split of each cluster's
+    IPC error (``--source both`` additionally asserts the raw and
+    compacted skip-log sources agree bit-for-bit).
 
 All commands accept ``--scale {ci,bench,default,full}`` (or the
 ``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
@@ -33,6 +39,7 @@ tier.  ``sample``, ``compare``, ``matrix``, and ``profile`` accept
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -84,13 +91,36 @@ def _simulator(workload, scale, telemetry=None):
     )
 
 
+@contextlib.contextmanager
+def _env_overrides(overrides: dict):
+    """Set environment variables for a block, restoring them after.
+
+    A None value leaves that variable untouched (the "auto" case).
+    """
+    sentinel = object()
+    saved = {}
+    for name, value in overrides.items():
+        if value is None:
+            continue
+        saved[name] = os.environ.get(name, sentinel)
+        os.environ[name] = value
+    try:
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is sentinel:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+
+
 def _report_telemetry(snapshots, trace_path, title="Telemetry profile"):
     """Merge per-run snapshots; write the trace file and print the profile."""
     from .harness import format_telemetry_summary
     from .telemetry import merge_snapshots, write_trace
 
     merged = merge_snapshots(snapshots)
-    if merged is None:
+    if merged is None or merged.is_empty():
         return
     if trace_path:
         count = write_trace(merged.trace_records, trace_path)
@@ -352,6 +382,57 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """Per-cluster accuracy audit: bias attribution vs a warm reference."""
+    from .core.source import COMPACTION_ENV_VAR
+    from .harness import format_audit_report, save_audit
+    from .harness.export import audit_to_json
+    from .telemetry import AUDIT_ENV_VAR, Telemetry, merge_snapshots
+
+    scale = _resolve_scale(args)
+    workload = build_workload(args.workload, mem_scale=scale.mem_scale)
+    methods = args.method or ["S$BP", "R$BP (100%)"]
+    sources = ("raw", "compacted") if args.source == "both" \
+        else (args.source,)
+
+    def run_with(source_kind: str):
+        # "auto" leaves REPRO_LOG_COMPACTION alone; a concrete kind pins
+        # it for the run, so every method resolves to that source.
+        overrides = {
+            AUDIT_ENV_VAR: "1",
+            COMPACTION_ENV_VAR:
+                None if source_kind == "auto" else source_kind,
+        }
+        snapshots = []
+        with _env_overrides(overrides):
+            simulator = _simulator(workload, scale, telemetry=Telemetry)
+            for method_name in methods:
+                result = simulator.run(resolve_method(method_name))
+                snapshots.append(result.extra.get("telemetry"))
+        return merge_snapshots(snapshots)
+
+    merged_by_source = {kind: run_with(kind) for kind in sources}
+    merged = merged_by_source[sources[0]]
+    print(format_audit_report(
+        merged,
+        title=f"{args.workload} accuracy audit ({scale.name} tier, "
+              f"{scale.regimen().describe()})",
+    ))
+    if args.source == "both":
+        texts = {kind: audit_to_json(merged_by_source[kind])
+                 for kind in sources}
+        if texts["raw"] != texts["compacted"]:
+            print("error: audit diverges between raw and compacted "
+                  "skip-log sources", file=sys.stderr)
+            return 1
+        print("\nraw and compacted skip-log sources produced "
+              "bit-identical audit JSON")
+    if args.json:
+        save_audit(merged, args.json)
+        print(f"\naudit JSON written to {args.json}")
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     """Regenerate the full evaluation grid and export it."""
     from .harness import format_per_workload, save_matrix
@@ -482,6 +563,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(profile_parser)
     _add_trace_argument(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="accuracy audit: per-cluster state divergence and "
+             "cold-start vs sampling error attribution",
+    )
+    audit_parser.add_argument("workload", choices=available_workloads())
+    audit_parser.add_argument(
+        "--method", action="append", default=None,
+        help="Table 2 method name (repeatable); default: S$BP and "
+             "R$BP (100%%)",
+    )
+    audit_parser.add_argument(
+        "--source", choices=("auto", "raw", "compacted", "both"),
+        default="auto",
+        help="skip-log source for the audited runs; 'both' runs raw and "
+             "compacted and asserts bit-identical audit JSON",
+    )
+    audit_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also export the audit report (summaries + per-cluster "
+             "rows) as JSON to PATH",
+    )
+    _add_scale_argument(audit_parser)
+    audit_parser.set_defaults(handler=cmd_audit)
 
     reproduce_parser = subparsers.add_parser(
         "reproduce",

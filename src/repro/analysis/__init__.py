@@ -1,5 +1,13 @@
-"""Analysis tools: warm-up fidelity scoring and IPC phase profiles."""
+"""Analysis tools: fidelity scoring, IPC profiles, and accuracy audits."""
 
+from .audit import (
+    AuditProbe,
+    ReferenceState,
+    ReferenceTrajectory,
+    compute_reference_trajectory,
+    diff_against_reference,
+    reference_trajectory_for,
+)
 from .fidelity import (
     StateFidelity,
     FidelityReport,
@@ -16,4 +24,10 @@ __all__ = [
     "measure_state_fidelity",
     "IPCProfile",
     "measure_ipc_profile",
+    "AuditProbe",
+    "ReferenceState",
+    "ReferenceTrajectory",
+    "compute_reference_trajectory",
+    "diff_against_reference",
+    "reference_trajectory_for",
 ]

@@ -73,10 +73,23 @@ class FidelityReport:
 
 
 def _jaccard(a: set, b: set) -> float:
+    """Jaccard similarity, with two empty sets defined as identical (1.0).
+
+    An empty cache compared against an empty cache has no disagreement
+    to report — the vacuous case scores perfect agreement, consistently
+    with :func:`_ratio` below.
+    """
     union = a | b
     if not union:
         return 1.0
     return len(a & b) / len(union)
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """Agreement ratio with the vacuous case (nothing to compare) as 1.0."""
+    if denominator == 0:
+        return 1.0
+    return numerator / denominator
 
 
 def _compare_states(
@@ -114,10 +127,10 @@ def _compare_states(
                              reference_hierarchy.l1d.contents()),
         l2_overlap=_jaccard(hierarchy.l2.contents(),
                             reference_hierarchy.l2.contents()),
-        counter_agreement=equal / total,
-        prediction_agreement=same_prediction / total,
+        counter_agreement=_ratio(equal, total),
+        prediction_agreement=_ratio(same_prediction, total),
         ghr_match=predictor.pht.history == reference_predictor.pht.history,
-        btb_agreement=btb_equal / btb_total,
+        btb_agreement=_ratio(btb_equal, btb_total),
         ras_top_match=predictor.ras.peek() == reference_predictor.ras.peek(),
     )
 

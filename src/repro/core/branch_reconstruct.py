@@ -238,6 +238,81 @@ class ReverseBranchReconstructor:
                 self._finalize(entry, table.lookup(length, bits).value)
         pending.clear()
 
+    # -- diagnostics ----------------------------------------------------------
+
+    def inference_census(self) -> dict:
+        """Classify every log-mentioned PHT entry's pending inference.
+
+        Non-destructive: reads the armed on-demand engine (windows or
+        the conditional tail from the current cursor) without consuming
+        it.  Both engines yield identical censuses for the same log —
+        an exact inference is insensitive to outcomes older than its pin
+        point, and the table truncates longer histories — which is what
+        lets the audit assert the raw/compacted equivalence claim on
+        every run.
+
+        Returns counts keyed for the audit record: entries mentioned in
+        the log, how many resolve exactly, the two/three-wide ambiguous
+        sets, entries left stale (never mentioned), and the total
+        ambiguity mass ``sum(len(possible) - 1)`` over mentioned entries.
+        """
+        pht = self.predictor.pht
+        table = self.table
+        exact = ambiguous_two = ambiguous_three = 0
+        ambiguity_mass = 0
+
+        def tally(inference) -> None:
+            nonlocal exact, ambiguous_two, ambiguous_three, ambiguity_mass
+            width = len(inference.possible)
+            if inference.exact:
+                exact += 1
+            elif width == 2:
+                ambiguous_two += 1
+            elif width == 3:
+                ambiguous_three += 1
+            ambiguity_mass += width - 1
+
+        windows = self._windows
+        if windows is not None:
+            mentioned = len(windows)
+            for length, bits in windows.values():
+                tally(table.lookup(length, bits))
+        else:
+            # Replay the remaining tail with drain's accumulation rules,
+            # without touching cursor/pending/reconstructed state.
+            reconstructed = self.predictor.pht.reconstructed
+            mask = pht.entries - 1
+            histories = dict(self._pending)
+            resolved: dict[int, object] = {}
+            for cursor in range(self._cursor, -1, -1):
+                pc, taken, ghr_before = self._conditionals[cursor]
+                index = (pc ^ ghr_before) & mask
+                if index in resolved or reconstructed[index]:
+                    continue
+                length, bits = histories.get(index, (0, 0))
+                bits |= int(taken) << length
+                length += 1
+                inference = table.lookup(length, bits)
+                if inference.exact:
+                    resolved[index] = inference
+                    histories.pop(index, None)
+                else:
+                    histories[index] = (length, bits)
+            for index, (length, bits) in histories.items():
+                resolved[index] = table.lookup(length, bits)
+            mentioned = len(resolved)
+            for inference in resolved.values():
+                tally(inference)
+
+        return {
+            "pht_entries_mentioned": mentioned,
+            "pht_exact": exact,
+            "pht_ambiguous_two": ambiguous_two,
+            "pht_ambiguous_three": ambiguous_three,
+            "pht_stale": pht.entries - mentioned,
+            "pht_ambiguity_mass": ambiguity_mass,
+        }
+
     # -- hot-loop hook --------------------------------------------------------
 
     def make_hook(self):

@@ -149,6 +149,17 @@ class ReverseStateReconstruction(WarmupMethod):
         if self.warm_predictor and self._branch_reconstructor is not None:
             self._branch_reconstructor.drain()
 
+    def audit_census(self) -> dict | None:
+        """PHT inference census for the accuracy audit, or None.
+
+        Must be taken at the cluster boundary *before*
+        :meth:`finalize_pending` — the census reads the armed on-demand
+        engine non-destructively, while a drain consumes it.
+        """
+        if not self.warm_predictor or self._branch_reconstructor is None:
+            return None
+        return self._branch_reconstructor.inference_census()
+
     def post_cluster(self) -> None:
         if self.warm_predictor:
             # Residual finalisation: entries the cluster never probed are

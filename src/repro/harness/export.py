@@ -12,7 +12,7 @@ import io
 import json
 
 from .experiment import WorkloadExperiment
-from .reporting import compaction_stats
+from .reporting import audit_rows, audit_summary, compaction_stats
 
 
 def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
@@ -29,6 +29,12 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
                 and "log.stored_records" in snapshot.counters
                 else {}
             )
+            # A cell snapshot audits exactly one (workload, method), so
+            # its summary has at most one aggregate row.
+            audit_summaries = (
+                audit_summary(snapshot) if snapshot is not None else []
+            )
+            audit_stats = audit_summaries[0] if audit_summaries else {}
             rows.append({
                 "workload": workload_name,
                 "method": method_name,
@@ -62,6 +68,16 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
                 "log_stored_records": log_stats.get("stored_records"),
                 "log_stored_bytes": log_stats.get("stored_bytes"),
                 "log_dedup_ratio": log_stats.get("dedup_ratio"),
+                # Accuracy audit aggregates (None unless REPRO_AUDIT was
+                # on for the run, same stable-column rationale).
+                "audit_clusters": audit_stats.get("clusters"),
+                "audit_cold_start_bias":
+                    audit_stats.get("cold_start_bias"),
+                "audit_sampling_bias": audit_stats.get("sampling_bias"),
+                "audit_l1d_tag_agreement":
+                    audit_stats.get("mean_l1d_tag_agreement"),
+                "audit_pht_counter_agreement":
+                    audit_stats.get("mean_pht_counter_agreement"),
             })
     return rows
 
@@ -82,6 +98,32 @@ def matrix_to_json(matrix: dict[str, WorkloadExperiment],
                    indent: int = 2) -> str:
     """Render a grid as a JSON array of cell objects."""
     return json.dumps(matrix_rows(matrix), indent=indent)
+
+
+def audit_to_json(snapshot, indent: int = 2) -> str:
+    """Render a snapshot's audit records as canonical JSON text.
+
+    The payload — per-(workload, method) summaries plus the per-cluster
+    rows in :data:`~.reporting.AUDIT_COLUMNS` order — contains only
+    deterministic quantities (no timing, no log-representation fields)
+    and is serialised with sorted keys, so two runs that reconstruct
+    identical state produce byte-identical text.  That is the form in
+    which the raw==compacted and serial==parallel equivalence claims
+    are asserted, by the test suite and by ``repro audit --source
+    both``.
+    """
+    payload = {
+        "schema": "repro-audit-v1",
+        "summary": audit_summary(snapshot),
+        "clusters": audit_rows(snapshot),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def save_audit(snapshot, path) -> None:
+    """Write a snapshot's audit report to `path` as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(audit_to_json(snapshot) + "\n")
 
 
 def save_matrix(matrix: dict[str, WorkloadExperiment], path) -> None:

@@ -33,7 +33,13 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..sampling import SampledRunResult, SampledSimulator, SimulatorConfigs, TrueRunResult
-from ..telemetry import TelemetrySnapshot, collection_enabled, merge_snapshots
+from ..telemetry import (
+    EMPTY_SNAPSHOT,
+    TelemetrySnapshot,
+    audit_enabled,
+    collection_enabled,
+    merge_snapshots,
+)
 from ..warmup.base import WarmupCost
 from ..workloads import PAPER_WORKLOADS, build_workload
 from .cache import ResultCache, cache_key
@@ -85,7 +91,11 @@ class CellSpec:
         # result computed without telemetry carries no snapshot, and
         # serving it to a traced grid would silently drop that cell from
         # the merged profile (and vice versa would waste snapshot bytes).
+        # Audited runs are distinct again — their snapshots carry audit
+        # records a merely-traced run lacks.
         kind = "cell+telemetry" if collection_enabled() else "cell"
+        if audit_enabled():
+            kind += "+audit"
         return cache_key(kind, self.workload_name, self.scale,
                          self.configs, self.method_name)
 
@@ -205,7 +215,7 @@ def _execute_pool(pending, method_factory, results, emit, jobs) -> bool:
 
 def merged_telemetry(
     grid: dict[str, WorkloadExperiment],
-) -> TelemetrySnapshot | None:
+) -> TelemetrySnapshot:
     """Fold every cell's telemetry snapshot into one run-level profile.
 
     Each traced sampled run carries a picklable
@@ -213,14 +223,20 @@ def merged_telemetry(
     ``SampledRunResult.extra`` — it crosses the worker process boundary
     with the result, so merging here yields exactly the totals a serial
     run of the same grid would accumulate (counters and phase seconds
-    sum; trace records are re-sorted into deterministic order).  Returns
-    None when no cell was traced.
+    sum; trace records are re-sorted into deterministic order).
+
+    Always returns a snapshot: an untraced grid — or one with zero
+    successful cells — folds to the shared
+    :data:`~repro.telemetry.EMPTY_SNAPSHOT` sentinel (falsy, read-only),
+    so callers can iterate or merge without a None guard and use plain
+    truthiness to decide whether anything was collected.
     """
-    return merge_snapshots(
+    merged = merge_snapshots(
         outcome.run.extra.get("telemetry")
         for experiment in grid.values()
         for outcome in experiment.outcomes.values()
     )
+    return EMPTY_SNAPSHOT if merged is None else merged
 
 
 def matrix_specs(

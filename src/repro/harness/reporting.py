@@ -6,8 +6,35 @@ series the paper reports, ready to print from a bench or example.
 
 from __future__ import annotations
 
-from ..telemetry import PHASES, TelemetrySnapshot
+from ..telemetry import PHASES, RECORD_AUDIT, TelemetrySnapshot
 from .experiment import WorkloadExperiment, average_over_workloads
+
+#: Stable column order of one audit record (``"type": "audit"``), as
+#: exported by :func:`audit_rows` / ``repro audit --json``.  Everything
+#: here is deterministic — no timing, no log-representation fields — so
+#: the exported JSON is bit-for-bit identical between raw and compacted
+#: sources and between serial and parallel runs.
+AUDIT_COLUMNS = (
+    "workload", "method", "cluster", "start",
+    "l1i_tag_agreement", "l1i_lru_agreement",
+    "l1d_tag_agreement", "l1d_lru_agreement",
+    "l2_tag_agreement", "l2_lru_agreement",
+    "pht_counter_agreement", "pht_prediction_agreement", "ghr_match",
+    "btb_agreement", "ras_agreement", "ras_top_match",
+    "pht_entries_mentioned", "pht_exact", "pht_ambiguous_two",
+    "pht_ambiguous_three", "pht_stale", "pht_ambiguity_mass",
+    "ipc", "ref_ipc", "true_ipc", "cold_start_error", "sampling_error",
+)
+
+#: Agreement columns averaged in :func:`audit_summary` (booleans count
+#: as 0/1 rates).
+_AUDIT_AGREEMENT_COLUMNS = (
+    "l1i_tag_agreement", "l1i_lru_agreement",
+    "l1d_tag_agreement", "l1d_lru_agreement",
+    "l2_tag_agreement", "l2_lru_agreement",
+    "pht_counter_agreement", "pht_prediction_agreement", "ghr_match",
+    "btb_agreement", "ras_agreement", "ras_top_match",
+)
 
 
 def format_table(headers: list[str], rows: list[list[str]],
@@ -162,6 +189,10 @@ def format_telemetry_summary(snapshot: TelemetrySnapshot,
     if "log.stored_records" in snapshot.counters:
         sections.append(_format_compaction_section(snapshot))
 
+    audit_summaries = audit_summary(snapshot)
+    if audit_summaries:
+        sections.append(_format_audit_summary_section(audit_summaries))
+
     per_method: dict[str, dict[str, float]] = {}
     for record in snapshot.trace_records:
         if record.get("type") != "cluster":
@@ -240,6 +271,143 @@ def _format_compaction_section(snapshot: TelemetrySnapshot) -> str:
         ["figure", "value"], rows,
         title="Skip-log compaction",
     )
+
+
+def audit_rows(snapshot: TelemetrySnapshot) -> list[dict]:
+    """The snapshot's audit records with a stable, sorted column set.
+
+    One row per audited cluster, columns exactly :data:`AUDIT_COLUMNS`,
+    sorted by (workload, method, cluster) — the deterministic order the
+    equivalence acceptance criterion compares bit-for-bit.
+    """
+    rows = [
+        {name: record.get(name) for name in AUDIT_COLUMNS}
+        for record in snapshot.trace_records
+        if record.get("type") == RECORD_AUDIT
+    ]
+    rows.sort(key=lambda row: (row["workload"], row["method"],
+                               row["cluster"]))
+    return rows
+
+
+def audit_summary(snapshot: TelemetrySnapshot) -> list[dict]:
+    """Aggregate the audit records into one row per (workload, method).
+
+    Each aggregate carries the run's estimate decomposition — the mean
+    per-cluster ``cold_start_error`` is exactly (estimate − reference
+    estimate), the paper's non-sampling bias, and the mean
+    ``sampling_error`` is (reference estimate − true IPC) — plus mean
+    agreement scores per structure and the PHT inference census means
+    (None for methods without an on-demand engine).
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for row in audit_rows(snapshot):
+        groups.setdefault((row["workload"], row["method"]), []).append(row)
+
+    def mean(rows: list[dict], name: str, absolute: bool = False):
+        values = [row[name] for row in rows if row[name] is not None]
+        if not values:
+            return None
+        if absolute:
+            values = [abs(value) for value in values]
+        return sum(float(value) for value in values) / len(values)
+
+    summaries = []
+    for (workload, method), rows in sorted(groups.items()):
+        summary = {
+            "workload": workload,
+            "method": method,
+            "clusters": len(rows),
+            "true_ipc": rows[0]["true_ipc"],
+            "mean_ipc": mean(rows, "ipc"),
+            "mean_ref_ipc": mean(rows, "ref_ipc"),
+            "cold_start_bias": mean(rows, "cold_start_error"),
+            "sampling_bias": mean(rows, "sampling_error"),
+            "mean_abs_cold_start_error":
+                mean(rows, "cold_start_error", absolute=True),
+            "mean_abs_sampling_error":
+                mean(rows, "sampling_error", absolute=True),
+        }
+        for name in _AUDIT_AGREEMENT_COLUMNS:
+            summary[f"mean_{name}"] = mean(rows, name)
+        for name in ("pht_entries_mentioned", "pht_exact",
+                     "pht_ambiguity_mass", "pht_stale"):
+            summary[f"mean_{name}"] = mean(rows, name)
+        summaries.append(summary)
+    return summaries
+
+
+def _format_audit_summary_section(summaries: list[dict]) -> str:
+    rows = []
+    for summary in summaries:
+        rows.append([
+            summary["workload"],
+            summary["method"],
+            f"{summary['clusters']}",
+            f"{summary['mean_ipc']:.4f}",
+            f"{summary['mean_ref_ipc']:.4f}",
+            f"{summary['true_ipc']:.4f}",
+            f"{summary['cold_start_bias']:+.4f}",
+            f"{summary['sampling_bias']:+.4f}",
+            f"{summary['mean_l1d_tag_agreement']:.3f}",
+            f"{summary['mean_pht_counter_agreement']:.3f}",
+            f"{summary['mean_btb_agreement']:.3f}",
+            f"{summary['mean_ras_agreement']:.3f}",
+        ])
+    return format_table(
+        ["workload", "method", "clusters", "est IPC", "ref IPC",
+         "true IPC", "cold-start bias", "sampling bias", "l1d agr",
+         "pht agr", "btb agr", "ras agr"],
+        rows,
+        title="Accuracy audit: error attribution per method",
+    )
+
+
+def format_audit_report(snapshot: TelemetrySnapshot,
+                        title: str = "Accuracy audit") -> str:
+    """Render the per-cluster audit as aligned tables.
+
+    One per-cluster table per (workload, method) group — structure
+    agreement scores, PHT ambiguity mass, and the cold-start vs
+    sampling error split — followed by the cross-method attribution
+    summary table.  Empty string when the snapshot has no audit records.
+    """
+    summaries = audit_summary(snapshot)
+    if not summaries:
+        return ""
+    rows_by_group: dict[tuple, list[dict]] = {}
+    for row in audit_rows(snapshot):
+        key = (row["workload"], row["method"])
+        rows_by_group.setdefault(key, []).append(row)
+
+    sections = []
+    for (workload, method), rows in sorted(rows_by_group.items()):
+        table_rows = []
+        for row in rows:
+            mass = row["pht_ambiguity_mass"]
+            table_rows.append([
+                f"{row['cluster']}",
+                f"{row['start']:,}",
+                f"{row['l1d_tag_agreement']:.3f}",
+                f"{row['l2_tag_agreement']:.3f}",
+                f"{row['pht_counter_agreement']:.3f}",
+                f"{mass}" if mass is not None else "-",
+                f"{row['btb_agreement']:.3f}",
+                f"{row['ras_agreement']:.3f}",
+                f"{row['ipc']:.4f}",
+                f"{row['ref_ipc']:.4f}",
+                f"{row['cold_start_error']:+.4f}",
+                f"{row['sampling_error']:+.4f}",
+            ])
+        sections.append(format_table(
+            ["cluster", "start", "l1d agr", "l2 agr", "pht agr",
+             "amb mass", "btb agr", "ras agr", "ipc", "ref ipc",
+             "cold err", "samp err"],
+            table_rows,
+            title=f"{title}: {workload} / {method}",
+        ))
+    sections.append(_format_audit_summary_section(summaries))
+    return "\n\n".join(sections)
 
 
 def format_speedups(matrix: dict[str, WorkloadExperiment],

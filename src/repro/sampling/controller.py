@@ -20,6 +20,7 @@ from ..telemetry import (
     PHASE_COLD_SKIP,
     PHASE_HOT_SIM,
     PHASE_RECONSTRUCT,
+    audit_enabled,
     telemetry_from_env,
 )
 from ..timing import CoreConfig, TimingSimulator, paper_core_config
@@ -164,6 +165,20 @@ class SampledSimulator:
         )
         method.bind(context)
 
+        # REPRO_AUDIT: per-cluster divergence probes against a cached
+        # perfectly-warmed reference trajectory.  Imported lazily — the
+        # analysis package depends on this module — and resolved per
+        # run, so the audit-off hot path pays one env check and a None
+        # test per cluster.  Audit data rides the telemetry session;
+        # with an explicit null session there is nowhere to put it, so
+        # the probe is skipped.
+        audit = None
+        if audit_enabled() and traced:
+            from ..analysis.audit import AuditProbe
+
+            audit = AuditProbe.for_run(self, hierarchy, predictor,
+                                       telemetry)
+
         cluster_size = self.regimen.cluster_size
         detail_ramp = self.detail_ramp
         cluster_ipcs: list[float] = []
@@ -185,6 +200,8 @@ class SampledSimulator:
             position = cluster_start - ramp
             with telemetry.phase(PHASE_RECONSTRUCT):
                 hook = method.pre_cluster()
+            if audit is not None:
+                audit.before_cluster(index, method)
             with telemetry.phase(PHASE_HOT_SIM):
                 result = timing.run(
                     cluster_size + ramp, pre_branch_hook=hook,
@@ -195,6 +212,10 @@ class SampledSimulator:
             position += result.instructions
             cost.hot_instructions += result.instructions
             cluster_ipcs.append(result.ipc)
+            if audit is not None:
+                # Emitted before end_cluster so the audit record sorts
+                # (stably) ahead of its cluster record after any merge.
+                audit.after_cluster(index, method, result.ipc)
             if traced:
                 cost_now = cost.as_dict()
                 deltas = {

@@ -20,6 +20,7 @@ from .session import (
     METRIC_PHT_ENTRIES,
     NULL_TELEMETRY,
     NullTelemetry,
+    PHASE_AUDIT,
     PHASE_COLD_SKIP,
     PHASE_HOT_SIM,
     PHASE_RECONSTRUCT,
@@ -27,12 +28,15 @@ from .session import (
     Telemetry,
     telemetry_from_env,
 )
-from .snapshot import TelemetrySnapshot, merge_snapshots
+from .snapshot import EMPTY_SNAPSHOT, TelemetrySnapshot, merge_snapshots
 from .trace import (
+    AUDIT_ENV_VAR,
     COLLECT_ENV_VAR,
+    RECORD_AUDIT,
     RECORD_CLUSTER,
     TRACE_ENV_VAR,
     append_trace,
+    audit_enabled,
     collection_enabled,
     format_trace_lines,
     read_trace,
@@ -56,17 +60,22 @@ __all__ = [
     "PHASE_COLD_SKIP",
     "PHASE_RECONSTRUCT",
     "PHASE_HOT_SIM",
+    "PHASE_AUDIT",
     "METRIC_BLOCKS_RECONSTRUCTED",
     "METRIC_PHT_ENTRIES",
     "TelemetrySnapshot",
+    "EMPTY_SNAPSHOT",
     "merge_snapshots",
     "TRACE_ENV_VAR",
     "COLLECT_ENV_VAR",
+    "AUDIT_ENV_VAR",
     "RECORD_CLUSTER",
+    "RECORD_AUDIT",
     "append_trace",
     "write_trace",
     "format_trace_lines",
     "read_trace",
     "trace_path_from_env",
     "collection_enabled",
+    "audit_enabled",
 ]

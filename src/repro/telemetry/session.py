@@ -41,6 +41,11 @@ PHASE_RECONSTRUCT = "reconstruct"
 PHASE_HOT_SIM = "hot_sim"
 PHASES = (PHASE_COLD_SKIP, PHASE_RECONSTRUCT, PHASE_HOT_SIM)
 
+#: Phase charged by the accuracy-audit probes (``REPRO_AUDIT``); not in
+#: :data:`PHASES` because it is observability overhead, not part of the
+#: sampled-simulation loop the paper's cost model argues about.
+PHASE_AUDIT = "audit"
+
 #: Counter names promoted to top-level trace-record fields.
 METRIC_BLOCKS_RECONSTRUCTED = "reconstruct.blocks_applied"
 METRIC_PHT_ENTRIES = "reconstruct.pht_entries"
@@ -141,6 +146,11 @@ class Telemetry:
         phases = self._cluster_phases
         for name in PHASES:
             record[f"{name}_seconds"] = phases.get(name, 0.0)
+        # Extra phases (e.g. the audit probe) get their own fields too,
+        # keeping the invariant wall_seconds == sum of *_seconds fields.
+        for name in sorted(phases):
+            if name not in PHASES:
+                record[f"{name}_seconds"] = phases[name]
         record["wall_seconds"] = sum(phases.values())
         before = self._cluster_counters
         deltas = {}

@@ -60,6 +60,20 @@ class TelemetrySnapshot:
             trace_records=records,
         )
 
+    def is_empty(self) -> bool:
+        """True when the session recorded nothing at all."""
+        return not (
+            self.counters
+            or self.gauges
+            or self.histograms
+            or self.phase_seconds
+            or self.trace_records
+        )
+
+    def __bool__(self) -> bool:
+        """A snapshot is truthy exactly when it carries data."""
+        return not self.is_empty()
+
     def total_phase_seconds(self) -> float:
         return sum(self.phase_seconds.values())
 
@@ -85,11 +99,22 @@ def _record_order(record: dict) -> tuple:
     )
 
 
+#: Shared empty snapshot, the identity of the merge semigroup.  APIs
+#: that promise to always hand back a snapshot (``merged_telemetry``)
+#: return this sentinel instead of None for untraced grids, so callers
+#: can write ``if snapshot:`` / iterate ``snapshot.trace_records``
+#: without a None guard.  Treat it as read-only: ``merge`` returns new
+#: objects, so the sentinel is never mutated by the normal fold.
+EMPTY_SNAPSHOT = TelemetrySnapshot()
+
+
 def merge_snapshots(snapshots) -> TelemetrySnapshot | None:
     """Fold an iterable of snapshots (Nones ignored) into one profile.
 
     Returns None when nothing was collected — callers use that to skip
-    telemetry reporting entirely for untraced runs.
+    telemetry reporting entirely for untraced runs.  Callers that want a
+    total function use :data:`EMPTY_SNAPSHOT` as the fallback (that is
+    what :func:`repro.harness.merged_telemetry` does).
     """
     merged: TelemetrySnapshot | None = None
     for snapshot in snapshots:

@@ -31,8 +31,20 @@ TRACE_ENV_VAR = "REPRO_TRACE"
 #: workers so the parent can merge and write one deterministic file.
 COLLECT_ENV_VAR = "REPRO_TELEMETRY"
 
+#: Environment variable enabling the accuracy audit: at every cluster
+#: boundary the controller diffs reconstructed state against a cached
+#: perfectly-warmed reference trajectory and emits per-cluster bias
+#: records.  Implies in-memory telemetry collection — audit data rides
+#: the normal snapshot/merge machinery.
+AUDIT_ENV_VAR = "REPRO_AUDIT"
+
 #: Record type emitted once per sampled cluster.
 RECORD_CLUSTER = "cluster"
+
+#: Record type emitted once per audited cluster (``REPRO_AUDIT``).
+RECORD_AUDIT = "audit"
+
+_OFF_VALUES = ("", "0", "off", "false", "no")
 
 
 def format_trace_lines(records) -> str:
@@ -84,9 +96,19 @@ def trace_path_from_env() -> str | None:
     return path or None
 
 
+def audit_enabled() -> bool:
+    """True when ``REPRO_AUDIT`` asks for accuracy-audit probes."""
+    flag = os.environ.get(AUDIT_ENV_VAR, "").strip().lower()
+    return flag not in _OFF_VALUES
+
+
 def collection_enabled() -> bool:
-    """True when either telemetry environment switch is on."""
+    """True when any telemetry environment switch is on.
+
+    The audit switch counts: audit records are trace records, so
+    ``REPRO_AUDIT`` alone is enough to collect snapshots in memory.
+    """
     if trace_path_from_env() is not None:
         return True
     flag = os.environ.get(COLLECT_ENV_VAR, "").strip().lower()
-    return flag not in ("", "0", "off", "false", "no")
+    return flag not in _OFF_VALUES or audit_enabled()

@@ -233,3 +233,109 @@ class TestTraceCommands:
         assert main(["profile", "ammp", "--method", "None"]) == 0
         out = capsys.readouterr().out
         assert "Skip-log compaction" not in out
+
+
+class TestOutputStability:
+    """Golden-ish assertions on section headers and registry listings:
+    downstream tooling greps this output, so renames must be deliberate."""
+
+    def test_methods_listing_is_stable(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered warm-up methods" in out
+        assert "aliases 'rsr' and 'smarts' also resolve" in out
+        # Header row and one row per registered class family.
+        assert "name" in out and "class" in out
+        for name in ("None", "S$BP", "SBP", "RBP", "FP (20%)",
+                     "R$ (100%)", "R$BP (100%)", "R$BP (20%)"):
+            assert name in out, f"registry listing lost {name!r}"
+        for class_name in ("NoWarmup", "SmartsWarmup",
+                           "FixedPeriodWarmup",
+                           "ReverseStateReconstruction"):
+            assert class_name in out
+
+    def test_profile_section_headers_are_stable(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["profile", "ammp", "--method", "rsr"]) == 0
+        out = capsys.readouterr().out
+        for header in ("time per phase",
+                       "Updates and events per structure",
+                       "Trace-record totals per method",
+                       "Skip-log compaction"):
+            assert header in out, f"profile output lost {header!r}"
+        for phase in ("cold_skip", "reconstruct", "hot_sim"):
+            assert phase in out
+
+    def test_profile_unknown_method_with_trace_exits_2(
+            self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["profile", "ammp", "--method", "Bogus",
+                     "--trace", str(trace_path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Bogus" in captured.err
+        assert "Traceback" not in captured.err
+        # Failing before any run means no partial trace file appears.
+        assert not trace_path.exists()
+
+
+class TestAuditCommand:
+    def test_audit_parser_defaults(self):
+        args = build_parser().parse_args(["audit", "ammp"])
+        assert args.command == "audit"
+        assert args.method is None
+        assert args.source == "auto"
+        assert args.json is None
+
+    def test_audit_parser_flags(self):
+        args = build_parser().parse_args(
+            ["audit", "gcc", "--method", "rsr", "--source", "both",
+             "--json", "audit.json", "--scale", "ci"],
+        )
+        assert args.method == ["rsr"]
+        assert args.source == "both"
+        assert args.json == "audit.json"
+
+    def test_audit_rejects_unknown_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "ammp", "--source", "x"])
+
+    def test_audit_reports_attribution(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert main(["audit", "ammp", "--method", "rsr"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy audit" in out
+        assert "cold err" in out and "samp err" in out
+        assert "error attribution per method" in out
+        assert "R$BP (100%)" in out
+
+    def test_audit_env_is_restored(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert main(["audit", "ammp", "--method", "smarts"]) == 0
+        assert "REPRO_AUDIT" not in os.environ
+
+    def test_audit_source_both_asserts_equivalence(
+            self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        path = tmp_path / "audit.json"
+        assert main(["audit", "ammp", "--method", "rsr",
+                     "--source", "both", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical audit JSON" in out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-audit-v1"
+        assert payload["clusters"]
+
+    def test_audit_unknown_method_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert main(["audit", "ammp", "--method", "Bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Bogus" in err

@@ -92,3 +92,75 @@ class TestFidelityOrdering:
     def test_rsr_prediction_agreement_high(self, rsr_report, none_report):
         assert rsr_report.mean("prediction_agreement") >= \
             none_report.mean("prediction_agreement")
+
+
+class TestVacuousAgreement:
+    """Edge cases of the agreement helpers: nothing to compare scores 1.0."""
+
+    def test_jaccard_empty_sets_are_identical(self):
+        from repro.analysis.fidelity import _jaccard
+        assert _jaccard(set(), set()) == 1.0
+        assert _jaccard({1}, set()) == 0.0
+        assert _jaccard(set(), {1}) == 0.0
+        assert _jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_ratio_vacuous_denominator(self):
+        from repro.analysis.fidelity import _ratio
+        assert _ratio(0, 0) == 1.0
+        assert _ratio(3, 4) == 0.75
+
+    def test_compare_states_on_empty_structures(self):
+        """Two cold stacks disagree about nothing: every score is 1.0."""
+        from repro.analysis.fidelity import _compare_states
+        from repro.branch import BranchPredictor, PredictorConfig
+        from repro.cache import MemoryHierarchy
+
+        config = PredictorConfig(pht_entries=1, btb_entries=1,
+                                 ras_entries=1)
+        record = _compare_states(
+            0, 0,
+            MemoryHierarchy(paper_hierarchy_config(scale=64)),
+            BranchPredictor(config),
+            MemoryHierarchy(paper_hierarchy_config(scale=64)),
+            BranchPredictor(config),
+        )
+        assert record.l1i_overlap == 1.0
+        assert record.l1d_overlap == 1.0
+        assert record.l2_overlap == 1.0
+        assert record.counter_agreement == 1.0
+        assert record.prediction_agreement == 1.0
+        assert record.ghr_match is True
+        assert record.btb_agreement == 1.0
+        assert record.ras_top_match is True
+
+    def test_single_entry_pht_disagreement_is_binary(self):
+        """With one PHT counter, agreement is exactly 0.0 or 1.0."""
+        from repro.analysis.fidelity import _compare_states
+        from repro.branch import BranchPredictor, PredictorConfig
+        from repro.cache import MemoryHierarchy
+
+        config = PredictorConfig(pht_entries=1, btb_entries=1,
+                                 ras_entries=1)
+        hierarchy = MemoryHierarchy(paper_hierarchy_config(scale=64))
+        reference = MemoryHierarchy(paper_hierarchy_config(scale=64))
+        predictor = BranchPredictor(config)
+        ref_predictor = BranchPredictor(config)
+        # Saturate the lone counter on one side only.
+        predictor.pht.counters[0] = 3
+        record = _compare_states(0, 0, hierarchy, predictor,
+                                 reference, ref_predictor)
+        assert record.counter_agreement == 0.0
+        assert record.prediction_agreement == 0.0
+
+    def test_fidelity_on_first_instruction_boundary(self, workload):
+        """A regimen whose first cluster opens at instruction 0 compares
+        near-empty state without dividing by zero."""
+        regimen = SamplingRegimen(4_000, 2, 400, seed=1)
+        report = measure_state_fidelity(
+            workload, regimen, SmartsWarmup(), configs(),
+            warmup_prefix=0,
+        )
+        assert len(report.records) == 2
+        for record in report.records:
+            assert 0.0 <= record.l1d_overlap <= 1.0
+            assert 0.0 <= record.btb_agreement <= 1.0

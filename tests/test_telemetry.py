@@ -10,6 +10,7 @@ from repro.harness.parallel import merged_telemetry, run_matrix_parallel
 from repro.harness.reporting import format_telemetry_summary
 from repro.sampling import SampledSimulator, SamplingRegimen
 from repro.telemetry import (
+    EMPTY_SNAPSHOT,
     NULL_TELEMETRY,
     HistogramSummary,
     MetricsRegistry,
@@ -331,13 +332,30 @@ class TestParallelMerge:
             assert other.count == summary.count
             assert other.total == pytest.approx(summary.total)
 
-    def test_untraced_grid_merges_to_none(self, monkeypatch):
+    def test_untraced_grid_merges_to_empty_sentinel(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
         grid = run_matrix_parallel(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
         )
-        assert merged_telemetry(grid) is None
+        merged = merged_telemetry(grid)
+        assert merged is EMPTY_SNAPSHOT
+        assert merged.is_empty()
+        assert not merged
+
+    def test_zero_cell_grid_folds_to_empty_sentinel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        grid = run_matrix_parallel(
+            small_suite, workload_names=(), scale=CI, jobs=1,
+        )
+        merged = merged_telemetry(grid)
+        assert merged is EMPTY_SNAPSHOT
+        assert not merged
+        # The sentinel is a real snapshot: merging and iterating it is
+        # safe without a None guard.
+        assert merge_snapshots([merged, merged]).is_empty()
+        assert list(merged.trace_records) == []
 
 
 class TestFormatTelemetrySummary:
