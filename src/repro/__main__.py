@@ -33,7 +33,10 @@ audit WORKLOAD
 All commands accept ``--scale {ci,bench,default,full}`` (or the
 ``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
 tier.  ``sample``, ``compare``, ``matrix``, and ``profile`` accept
-``--trace PATH`` to write one JSON-lines record per sampled cluster.
+``--trace PATH`` to write one JSON-lines record per sampled cluster, and
+``sample``, ``matrix``, and ``profile`` accept ``--cluster-jobs N`` (or
+``REPRO_CLUSTER_JOBS``) to run shardable methods through the two-phase
+pipeline with N hot-shard workers (see docs/parallel-execution.md).
 """
 
 from __future__ import annotations
@@ -76,18 +79,28 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cluster_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster-jobs", type=int, default=None, metavar="N",
+        help="hot-shard workers for the two-phase pipeline (shardable "
+             "methods only; 0 = one per CPU; default: "
+             "REPRO_CLUSTER_JOBS or 1 = serial)",
+    )
+
+
 def _resolve_scale(args):
     if args.scale:
         return SCALES[args.scale]
     return scale_from_env()
 
 
-def _simulator(workload, scale, telemetry=None):
+def _simulator(workload, scale, telemetry=None, cluster_jobs=None):
     return SampledSimulator(
         workload, scale.regimen(), scale.configs(),
         warmup_prefix=scale.warmup_prefix,
         detail_ramp=scale.detail_ramp,
         telemetry=telemetry,
+        cluster_jobs=cluster_jobs,
     )
 
 
@@ -150,9 +163,13 @@ def cmd_methods(_args) -> int:
     rows = []
     for name in registered_method_names():
         method = resolve_method(name)
-        rows.append([name, type(method).__name__])
+        rows.append([
+            name,
+            type(method).__name__,
+            "yes" if method.shardable else "no",
+        ])
     print(format_table(
-        ["name", "class"], rows,
+        ["name", "class", "shardable"], rows,
         title="Registered warm-up methods "
               "(aliases 'rsr' and 'smarts' also resolve)",
     ))
@@ -179,7 +196,8 @@ def cmd_sample(args) -> int:
         # method's run gets a fresh session, merged after the table.
         from .telemetry import Telemetry
         telemetry = Telemetry
-    simulator = _simulator(workload, scale, telemetry=telemetry)
+    simulator = _simulator(workload, scale, telemetry=telemetry,
+                           cluster_jobs=getattr(args, "cluster_jobs", None))
     results = []
     rows = []
     for method_name in args.method:
@@ -313,6 +331,11 @@ def cmd_matrix(args) -> int:
         from .telemetry import COLLECT_ENV_VAR
         previous_collect = os.environ.get(COLLECT_ENV_VAR)
         os.environ[COLLECT_ENV_VAR] = "1"
+    # Resolved in the parent (explicit flag, else REPRO_CLUSTER_JOBS) so
+    # the value lands in every CellSpec — and hence the cache keys —
+    # before any worker launches; a bad value exits 2 below.
+    from .sampling import resolve_cluster_jobs
+    cluster_jobs = resolve_cluster_jobs(args.cluster_jobs)
     try:
         matrix = run_matrix_parallel(
             suite_factory,
@@ -321,6 +344,7 @@ def cmd_matrix(args) -> int:
             jobs=args.jobs,
             cache=cache,
             progress=progress,
+            cluster_jobs=cluster_jobs,
         )
     finally:
         if previous_collect is not collect_sentinel:
@@ -364,7 +388,8 @@ def cmd_profile(args) -> int:
 
     scale = _resolve_scale(args)
     workload = build_workload(args.workload, mem_scale=scale.mem_scale)
-    simulator = _simulator(workload, scale, telemetry=Telemetry)
+    simulator = _simulator(workload, scale, telemetry=Telemetry,
+                           cluster_jobs=getattr(args, "cluster_jobs", None))
     methods = args.method or ["S$BP", "R$BP (100%)"]
     snapshots = []
     for method_name in methods:
@@ -489,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(sample_parser)
     _add_trace_argument(sample_parser)
+    _add_cluster_jobs_argument(sample_parser)
     sample_parser.set_defaults(handler=cmd_sample)
 
     compare_parser = subparsers.add_parser(
@@ -548,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(matrix_parser)
     _add_trace_argument(matrix_parser)
+    _add_cluster_jobs_argument(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     profile_parser = subparsers.add_parser(
@@ -562,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(profile_parser)
     _add_trace_argument(profile_parser)
+    _add_cluster_jobs_argument(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     audit_parser = subparsers.add_parser(

@@ -42,12 +42,12 @@ from ..cache import MemoryHierarchy
 from ..harness.cache import cache_key, resolve_cache
 from ..sampling.controller import (
     SimulatorConfigs,
+    build_simulation,
     measure_true_ipc,
-    steady_state_prefix,
 )
+from ..sampling.pipeline import cluster_geometry
 from ..sampling.regimen import SamplingRegimen
 from ..telemetry import PHASE_AUDIT, RECORD_AUDIT
-from ..timing import TimingSimulator
 from ..warmup.base import SimulationContext
 from ..warmup.fixed_period import SmartsWarmup
 from ..workloads import Workload
@@ -118,14 +118,12 @@ def compute_reference_trajectory(
     the self-consistency test the audit suite asserts.
     """
     configs = configs if configs is not None else SimulatorConfigs()
-    machine = workload.make_machine()
-    hierarchy = MemoryHierarchy(configs.hierarchy)
-    predictor = BranchPredictor(configs.predictor)
-    timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
-    steady_state_prefix(machine, hierarchy, predictor, warmup_prefix)
+    stack = build_simulation(workload, configs, warmup_prefix=warmup_prefix)
+    hierarchy = stack.hierarchy
+    predictor = stack.predictor
     reference = SmartsWarmup()
     reference.bind(SimulationContext(
-        machine=machine, hierarchy=hierarchy, predictor=predictor,
+        machine=stack.machine, hierarchy=hierarchy, predictor=predictor,
         regimen=regimen,
     ))
 
@@ -133,15 +131,17 @@ def compute_reference_trajectory(
     cluster_size = regimen.cluster_size
     position = 0
     for index, cluster_start in enumerate(regimen.cluster_starts()):
-        ramp = min(detail_ramp, max(0, cluster_start - position))
-        gap = cluster_start - position - ramp
+        ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
         if gap > 0:
             reference.skip(gap)
         position = cluster_start - ramp
         reference.pre_cluster()
         captured = _capture_state(index, cluster_start, hierarchy, predictor)
-        result = timing.run(cluster_size + ramp, measure_after=ramp)
+        result = stack.timing.run(cluster_size + ramp, measure_after=ramp)
         reference.post_cluster()
+        # Mirror the controller loop: the hot cluster fetched blocks
+        # outside machine.run, so the ifetch-continuity marker is stale.
+        stack.machine.invalidate_fetch_block()
         position += result.instructions
         states.append(ReferenceState(ipc=result.ipc, **captured))
 
@@ -323,6 +323,12 @@ class AuditProbe:
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.telemetry = telemetry
+        #: Reference states keyed by cluster index rather than position:
+        #: a shard worker receives a single-state trajectory carrying
+        #: only its own cluster, and probes it under the true index.
+        self._states = {
+            state.cluster_index: state for state in trajectory.states
+        }
         self._partial: dict[int, dict] = {}
 
     @classmethod
@@ -346,7 +352,7 @@ class AuditProbe:
                 # on-demand engine, which a drain consumes.
                 census = take_census()
             method.finalize_pending()
-            reference = self.trajectory.states[index]
+            reference = self._states[index]
             metrics = diff_against_reference(
                 self.hierarchy, self.predictor, reference
             )
@@ -358,7 +364,7 @@ class AuditProbe:
         """Complete and emit the audit record once the IPC is known."""
         with self.telemetry.phase(PHASE_AUDIT):
             metrics = self._partial.pop(index)
-            reference = self.trajectory.states[index]
+            reference = self._states[index]
             record = {
                 "type": RECORD_AUDIT,
                 "workload": self.trajectory.workload_name,

@@ -27,6 +27,10 @@ from .source import make_source
 class ReverseStateReconstruction(WarmupMethod):
     """Paper Table 2 entries R$ (x%), RBP, and R$BP (x%)."""
 
+    #: RSR's pre_cluster needs nothing but the current gap's log, so its
+    #: clusters can run as independent shards (two-phase pipeline).
+    shardable = True
+
     def __init__(
         self,
         fraction: float = 1.0,
@@ -116,6 +120,47 @@ class ReverseStateReconstruction(WarmupMethod):
         )
         self.cost.functional_instructions += executed
         self.cost.log_records += log.record_count() - records_before
+
+    # -- cluster sharding ------------------------------------------------------
+
+    def clone_unbound(self):
+        """Unbound clone for shard workers (configuration only).
+
+        `bind` rebuilds the log and both reconstructors, so the clone
+        ships placeholders instead of the (potentially filled, context-
+        entangled) live instances.
+        """
+        clone = super().clone_unbound()
+        clone.log = SkipRegionLog()
+        clone._cache_reconstructor = None
+        clone._branch_reconstructor = None
+        clone.cache_stats_history = []
+        return clone
+
+    def detach_source(self):
+        """Hand over the filled gap log; start a fresh one for the next gap.
+
+        The surrendered source is prepared for pickling (telemetry
+        stripped — see :meth:`ReconstructionSource.handoff`); the
+        replacement is built with the same kind and geometry, so the cold
+        scan keeps logging seamlessly.
+        """
+        filled = self.log.handoff()
+        self.log = make_source(
+            self.source,
+            context=self.context,
+            fraction=self.fraction,
+            warm_cache=self.warm_cache,
+            warm_predictor=self.warm_predictor,
+            table=self._table,
+            telemetry=self.telemetry,
+        )
+        return filled
+
+    def adopt_source(self, source) -> None:
+        """Consume a handed-off gap log in place of this bind's own."""
+        source.adopt_telemetry(self.telemetry)
+        self.log = source
 
     # -- cluster boundary ------------------------------------------------------
 

@@ -161,6 +161,27 @@ class ReconstructionSource:
         telemetry totals here, in bulk, never per record."""
         raise NotImplementedError
 
+    # -- cross-process hand-off ----------------------------------------------
+
+    def handoff(self) -> "ReconstructionSource":
+        """Prepare this source for transport into another process.
+
+        The two-phase pipeline logs a gap in the cold-scan process and
+        consumes it in a shard worker, so the filled source must pickle.
+        The only process-bound piece of the bundled implementations is
+        the telemetry session, which is dropped here (sessions are
+        per-process; the worker re-attaches its own with
+        :meth:`adopt_telemetry`).  Third-party sources holding other
+        unpicklable state override this.  Returns ``self``.
+        """
+        self.telemetry = None
+        return self
+
+    def adopt_telemetry(self, telemetry) -> None:
+        """Attach the consuming process's telemetry session (post
+        hand-off); ``None`` leaves the source silent."""
+        self.telemetry = telemetry
+
 
 def make_source(kind: str = "auto", *, context=None, fraction: float = 1.0,
                 warm_cache: bool = True, warm_predictor: bool = True,

@@ -2,6 +2,7 @@
 
 from .memory import Memory, WORD_BYTES
 from .machine import FunctionalMachine, StepResult, Checkpoint, to_signed
+from .checkpoint import FunctionalCheckpoint
 
 __all__ = [
     "Memory",
@@ -9,5 +10,6 @@ __all__ = [
     "FunctionalMachine",
     "StepResult",
     "Checkpoint",
+    "FunctionalCheckpoint",
     "to_signed",
 ]

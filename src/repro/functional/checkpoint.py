@@ -1,0 +1,76 @@
+"""Picklable functional checkpoints for the two-phase pipeline.
+
+The in-process :class:`~repro.functional.machine.Checkpoint` shares the
+live :class:`~repro.functional.memory.Memory` implementation and is made
+for same-process save/restore (MRRL's look-ahead profiling).  The
+two-phase execution pipeline needs something stronger: a cluster shard
+restores architectural state in a *worker process*, so the captured
+state must cross a pickle boundary compactly and deterministically.
+
+:class:`FunctionalCheckpoint` is that form — plain ints, a tuple of
+registers, and the sparse memory image as a word dict.  Restoring onto a
+freshly built machine of the same workload reproduces the exact
+architectural state (and therefore the exact downstream instruction
+trace): the program image is immutable per workload, so only the mutable
+state travels.
+
+Capture is O(resident memory words); the bundled workloads keep that in
+the tens of thousands of words, far below the cost of the detailed
+cluster simulation the shard exists to parallelise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import FunctionalMachine
+from .memory import Memory
+
+
+@dataclass(frozen=True)
+class FunctionalCheckpoint:
+    """Full architectural state of one machine, in picklable form.
+
+    Frozen so a captured checkpoint can be shared by several consumers
+    (shards, tests) without defensive copies at hand-off time; `restore`
+    copies the memory image into the target machine instead.
+    """
+
+    pc: int
+    registers: tuple[int, ...]
+    memory_words: dict[int, int]
+    instructions_retired: int
+    halted: bool
+
+    @classmethod
+    def capture(cls, machine: FunctionalMachine) -> "FunctionalCheckpoint":
+        """Snapshot `machine`'s architectural state."""
+        return cls(
+            pc=machine.pc,
+            registers=tuple(machine.registers),
+            memory_words=dict(machine.memory._words),
+            instructions_retired=machine.instructions_retired,
+            halted=machine.halted,
+        )
+
+    def restore(self, machine: FunctionalMachine) -> FunctionalMachine:
+        """Install this state onto `machine` (same workload program).
+
+        Replaces registers, PC, retirement counter, and the whole memory
+        image; the machine's ifetch-continuity marker is invalidated
+        because execution is jumping to a checkpointed position.
+        Returns `machine` for chaining.
+        """
+        machine.pc = self.pc
+        machine.registers = list(self.registers)
+        memory = Memory()
+        memory._words = dict(self.memory_words)
+        machine.memory = memory
+        machine.instructions_retired = self.instructions_retired
+        machine.halted = self.halted
+        machine.invalidate_fetch_block()
+        return machine
+
+    def resident_words(self) -> int:
+        """Distinct memory words carried by this checkpoint."""
+        return len(self.memory_words)

@@ -79,6 +79,13 @@ class FunctionalMachine:
         self.halted = False
         self.instructions_retired = 0
         self._step_result = StepResult()
+        #: Ifetch-continuity marker: ``(per_block, block)`` of the last
+        #: instruction block fetched by an *observed* :meth:`run` (one
+        #: with an ``ifetch_hook``).  Carried across calls so a phase
+        #: boundary (warm-up prefix -> skip, skip -> skip) does not
+        #: re-report a block the previous phase already fetched; see
+        #: :meth:`invalidate_fetch_block` for when it resets.
+        self._last_fetch: tuple[int, int] = (0, -1)
 
     # -- checkpointing ------------------------------------------------------
 
@@ -98,6 +105,17 @@ class FunctionalMachine:
         self.memory = checkpoint.memory.copy()
         self.instructions_retired = checkpoint.instructions_retired
         self.halted = False
+        self.invalidate_fetch_block()
+
+    def invalidate_fetch_block(self) -> None:
+        """Forget the ifetch-continuity marker.
+
+        Called whenever execution discontinuously moves (checkpoint
+        restore) or when instructions were fetched without an observer
+        (a hook-less :meth:`run`), so the next observed run re-reports
+        its first block instead of wrongly deduplicating it.
+        """
+        self._last_fetch = (0, -1)
 
     # -- single stepping ------------------------------------------------------
 
@@ -266,7 +284,11 @@ class FunctionalMachine:
             Called as ``ifetch_hook(byte_address)`` whenever execution moves
             to a different `ifetch_block_bytes`-sized code block.  Repeated
             fetches within one block are filtered because they cannot change
-            cache state; see DESIGN.md §2.
+            cache state; see DESIGN.md §2.  The filter carries across
+            calls: a new call continuing in the block the previous
+            observed call ended in does not re-report it (the controller
+            invokes :meth:`run` once per phase, and a phase boundary is
+            not a fetch).
         """
         executed = 0
         step = self.step
@@ -274,7 +296,9 @@ class FunctionalMachine:
         instruction_bytes = program.instruction_bytes
         code_base = program.code_base
         per_block = max(1, ifetch_block_bytes // instruction_bytes)
-        last_fetch_block = -1
+        stored_per_block, stored_block = self._last_fetch
+        last_fetch_block = stored_block if stored_per_block == per_block else -1
+        pc_before = -1
 
         while executed < count and not self.halted:
             pc_before = self.pc
@@ -299,4 +323,12 @@ class FunctionalMachine:
                     branch_hook(
                         result.index, result.next_index, inst, result.taken
                     )
+        if executed:
+            if ifetch_hook is not None:
+                # The last executed instruction's block is, by induction,
+                # the last one reported; remember it for the next phase.
+                self._last_fetch = (per_block, pc_before // per_block)
+            else:
+                # Blocks were fetched unobserved; continuity is broken.
+                self.invalidate_fetch_block()
         return executed

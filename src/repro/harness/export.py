@@ -46,6 +46,10 @@ def matrix_rows(matrix: dict[str, WorkloadExperiment]) -> list[dict]:
                 "ci_pass": outcome.passes_confidence,
                 "num_clusters": run.regimen.num_clusters,
                 "cluster_size": run.regimen.cluster_size,
+                # Two-phase pipeline provenance: False/1 for the serial
+                # walk, so the column set is stable either way.
+                "sharded": bool(run.extra.get("sharded", False)),
+                "cluster_jobs": run.extra.get("cluster_jobs", 1),
                 "functional_instructions":
                     run.cost.functional_instructions,
                 "hot_instructions": run.cost.hot_instructions,

@@ -81,6 +81,9 @@ class CellSpec:
     method_name: str
     scale: ExperimentScale
     configs: SimulatorConfigs
+    #: Shard workers for the two-phase pipeline inside this cell
+    #: (1 = the serial walk; see repro.sampling.pipeline).
+    cluster_jobs: int = 1
 
     @property
     def kind(self) -> str:
@@ -92,10 +95,16 @@ class CellSpec:
         # serving it to a traced grid would silently drop that cell from
         # the merged profile (and vice versa would waste snapshot bytes).
         # Audited runs are distinct again — their snapshots carry audit
-        # records a merely-traced run lacks.
+        # records a merely-traced run lacks.  Sharded runs are distinct
+        # too: shards start clusters from reconstruction-only state, so
+        # their IPCs legitimately differ from the serial walk's (but the
+        # key deliberately ignores *how many* workers sharded a run —
+        # any jobs > 1 executes the identical two-phase schedule).
         kind = "cell+telemetry" if collection_enabled() else "cell"
         if audit_enabled():
             kind += "+audit"
+        if self.cluster_jobs > 1:
+            kind += "+shards"
         return cache_key(kind, self.workload_name, self.scale,
                          self.configs, self.method_name)
 
@@ -162,6 +171,7 @@ def _run_cell_task(spec: CellSpec, method_factory) -> SampledRunResult:
         workload, spec.scale.regimen(), spec.configs,
         warmup_prefix=spec.scale.warmup_prefix,
         detail_ramp=spec.scale.detail_ramp,
+        cluster_jobs=spec.cluster_jobs,
     )
     return simulator.run(method)
 
@@ -172,6 +182,49 @@ def _is_picklable(obj) -> bool:
         return True
     except Exception:
         return False
+
+
+def map_tasks(worker, tasks, jobs: int) -> list:
+    """Order-preserving parallel map: ``[worker(t) for t in tasks]``.
+
+    The generic executor underneath the two-phase pipeline's shard
+    fan-out (and any future fixed-task-list parallelism).  Fans `tasks`
+    out over up to `jobs` worker processes and returns results in task
+    order.  Degrades to in-process execution of the same list — with
+    identical results — when `jobs` <= 1, the first task does not
+    pickle, the caller is already inside a pool worker (daemonic
+    processes cannot have children), or the platform cannot build a
+    process pool at all.
+    """
+    tasks = list(tasks)
+    if jobs > 1 and len(tasks) > 1 and _is_picklable(tasks[0]):
+        import multiprocessing
+
+        if not multiprocessing.current_process().daemon:
+            results = _map_pool(worker, tasks, jobs)
+            if results is not None:
+                return results
+    return [worker(task) for task in tasks]
+
+
+def _map_pool(worker, tasks, jobs: int):
+    """Pool-backed map; None when the pool cannot run the tasks.
+
+    Any pool-side failure — creation, submission, a broken worker —
+    falls back to the in-process path; a genuine exception raised by
+    `worker` itself re-raises identically there.
+    """
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (NotImplementedError, OSError, PermissionError, ValueError):
+        return None
+    try:
+        futures = [executor.submit(worker, task) for task in tasks]
+        return [future.result() for future in futures]
+    except Exception:
+        return None
+    finally:
+        executor.shutdown()
 
 
 def _execute_serial(pending, method_factory, results, emit):
@@ -244,6 +297,7 @@ def matrix_specs(
     workload_names: Iterable[str],
     scale: ExperimentScale,
     configs: SimulatorConfigs,
+    cluster_jobs: int = 1,
 ) -> list:
     """The full deterministic task list for one grid (true runs first)."""
     specs: list = [
@@ -252,7 +306,7 @@ def matrix_specs(
     ]
     specs.extend(
         CellSpec(workload_name=workload_name, method_name=method_name,
-                 scale=scale, configs=configs)
+                 scale=scale, configs=configs, cluster_jobs=cluster_jobs)
         for workload_name in workload_names
         for method_name in method_names
     )
@@ -267,6 +321,7 @@ def run_matrix_parallel(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressHook | None = None,
+    cluster_jobs: int = 1,
 ) -> dict[str, WorkloadExperiment]:
     """Run a methods-by-workloads grid, fanned out over processes.
 
@@ -287,13 +342,20 @@ def run_matrix_parallel(
     progress:
         Optional hook called with a :class:`CellProgress` per finished
         task, in completion order.
+    cluster_jobs:
+        Shard workers for the two-phase pipeline *inside* each cell
+        (see :mod:`repro.sampling.pipeline`); with ``jobs > 1`` the
+        cells themselves already occupy the CPUs, so shard fan-out
+        inside pool workers degrades to in-process execution with
+        identical results.
     """
     scale = scale if scale is not None else scale_from_env()
     configs = configs if configs is not None else scale.configs()
     if jobs is None:
         jobs = os.cpu_count() or 1
     method_names = [method.name for method in method_factory()]
-    specs = matrix_specs(method_names, workload_names, scale, configs)
+    specs = matrix_specs(method_names, workload_names, scale, configs,
+                         cluster_jobs=cluster_jobs)
 
     results: dict = {}
     completed = 0
@@ -343,7 +405,7 @@ def run_matrix_parallel(
         )
         for method_name in method_names:
             run = results[CellSpec(workload_name, method_name, scale,
-                                   configs)]
+                                   configs, cluster_jobs)]
             experiment.outcomes[method_name] = MethodOutcome(
                 run=run, true_ipc=true_run.ipc
             )

@@ -17,8 +17,17 @@ from .controller import (
     SampledSimulator,
     SampledRunResult,
     TrueRunResult,
+    SimulationStack,
     SimulatorConfigs,
+    build_simulation,
     measure_true_ipc,
+)
+from .pipeline import (
+    CLUSTER_JOBS_ENV_VAR,
+    ClusterShard,
+    ShardResult,
+    cluster_geometry,
+    resolve_cluster_jobs,
 )
 
 __all__ = [
@@ -34,6 +43,13 @@ __all__ = [
     "SampledSimulator",
     "SampledRunResult",
     "TrueRunResult",
+    "SimulationStack",
     "SimulatorConfigs",
+    "build_simulation",
     "measure_true_ipc",
+    "CLUSTER_JOBS_ENV_VAR",
+    "ClusterShard",
+    "ShardResult",
+    "cluster_geometry",
+    "resolve_cluster_jobs",
 ]

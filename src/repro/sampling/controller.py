@@ -7,27 +7,29 @@ implements — and (2) runs the detailed timing simulator over the cluster,
 collecting its IPC as one sampling unit.  Cache and branch-predictor state
 flow continuously through the whole run; the architectural state is always
 exact because every skipped instruction is functionally executed.
+
+This module owns the run-level data model (results, configurations) and
+the shared simulator factory; the execution loops themselves live in
+:mod:`repro.sampling.pipeline`, which offers two strategies behind
+:meth:`SampledSimulator.run` — the classic continuous serial walk and
+the two-phase cluster-sharded pipeline (``REPRO_CLUSTER_JOBS`` /
+``cluster_jobs``).
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 
 from ..branch import BranchPredictor, PredictorConfig, paper_predictor_config
 from ..cache import HierarchyConfig, MemoryHierarchy, paper_hierarchy_config
-from ..telemetry import (
-    PHASE_COLD_SKIP,
-    PHASE_HOT_SIM,
-    PHASE_RECONSTRUCT,
-    audit_enabled,
-    telemetry_from_env,
-)
+from ..telemetry import telemetry_from_env
 from ..timing import CoreConfig, TimingSimulator, paper_core_config
-from ..warmup.base import SimulationContext, WarmupCost, WarmupMethod
+from ..warmup.base import WarmupCost, WarmupMethod
 from ..workloads import Workload
 from .regimen import SamplingRegimen
-from .statistics import SampleEstimate, cluster_estimate, relative_error
+from .statistics import SampleEstimate, relative_error
 
 
 @dataclass
@@ -103,6 +105,52 @@ def steady_state_prefix(machine, hierarchy, predictor, count: int) -> None:
     )
 
 
+@dataclass
+class SimulationStack:
+    """The per-run simulator quartet over one workload.
+
+    Built by :func:`build_simulation` — the single construction path
+    shared by the serial controller loop, the true-IPC baseline, the
+    audit reference trajectory, and the two-phase pipeline's shard
+    workers, so every execution path simulates exactly the same
+    microarchitecture wiring.
+    """
+
+    machine: object            # FunctionalMachine
+    hierarchy: MemoryHierarchy
+    predictor: BranchPredictor
+    timing: TimingSimulator
+
+    def warm_prefix(self, count: int) -> None:
+        """Functionally warm `count` instructions (steady-state prefix)."""
+        steady_state_prefix(self.machine, self.hierarchy, self.predictor,
+                            count)
+
+
+def build_simulation(
+    workload: Workload,
+    configs: SimulatorConfigs | None = None,
+    warmup_prefix: int = 0,
+) -> SimulationStack:
+    """Construct a fresh machine + hierarchy + predictor + timing stack.
+
+    `warmup_prefix` > 0 additionally runs the steady-state prefix; paths
+    that need the prefix under their own phase timer (or skip it, like
+    shard workers restoring a checkpoint) pass 0 and call
+    :meth:`SimulationStack.warm_prefix` themselves.
+    """
+    configs = configs if configs is not None else SimulatorConfigs()
+    machine = workload.make_machine()
+    hierarchy = MemoryHierarchy(configs.hierarchy)
+    predictor = BranchPredictor(configs.predictor)
+    timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
+    stack = SimulationStack(machine=machine, hierarchy=hierarchy,
+                            predictor=predictor, timing=timing)
+    if warmup_prefix:
+        stack.warm_prefix(warmup_prefix)
+    return stack
+
+
 class SampledSimulator:
     """Runs one workload under a sampling regimen with a warm-up method.
 
@@ -119,6 +167,7 @@ class SampledSimulator:
         warmup_prefix: int = 0,
         detail_ramp: int = 0,
         telemetry=None,
+        cluster_jobs: int | None = None,
     ) -> None:
         self.workload = workload
         self.regimen = regimen
@@ -135,6 +184,12 @@ class SampledSimulator:
         #: same simulator runs several methods; a session instance is
         #: shared across runs as-is (the caller owns its lifecycle).
         self.telemetry = telemetry
+        #: Shard workers for the two-phase pipeline: ``None`` resolves
+        #: ``REPRO_CLUSTER_JOBS`` per run (unset means 1 = serial), ``0``
+        #: means one worker per CPU, ``1`` forces the serial loop.  Only
+        #: :attr:`~repro.warmup.base.WarmupMethod.shardable` methods fan
+        #: out; others fall back to serial with a notice.
+        self.cluster_jobs = cluster_jobs
 
     def _telemetry_session(self):
         source = self.telemetry
@@ -145,126 +200,32 @@ class SampledSimulator:
         return source
 
     def run(self, method: WarmupMethod) -> SampledRunResult:
-        """Execute the full sampled simulation with `method`."""
-        configs = self.configs
-        telemetry = self._telemetry_session()
-        traced = telemetry.enabled
-        machine = self.workload.make_machine()
-        hierarchy = MemoryHierarchy(configs.hierarchy)
-        predictor = BranchPredictor(configs.predictor)
-        timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
-        with telemetry.phase("prefix"):
-            steady_state_prefix(machine, hierarchy, predictor,
-                                self.warmup_prefix)
-        context = SimulationContext(
-            machine=machine,
-            hierarchy=hierarchy,
-            predictor=predictor,
-            regimen=self.regimen,
-            telemetry=telemetry,
-        )
-        method.bind(context)
+        """Execute the full sampled simulation with `method`.
 
-        # REPRO_AUDIT: per-cluster divergence probes against a cached
-        # perfectly-warmed reference trajectory.  Imported lazily — the
-        # analysis package depends on this module — and resolved per
-        # run, so the audit-off hot path pays one env check and a None
-        # test per cluster.  Audit data rides the telemetry session;
-        # with an explicit null session there is nowhere to put it, so
-        # the probe is skipped.
-        audit = None
-        if audit_enabled() and traced:
-            from ..analysis.audit import AuditProbe
+        Dispatches between the two execution strategies in
+        :mod:`repro.sampling.pipeline`: the continuous serial walk
+        (reference semantics) and, for ``cluster_jobs > 1`` with a
+        :attr:`~repro.warmup.base.WarmupMethod.shardable` method, the
+        two-phase cold-scan + hot-shard pipeline.  A non-shardable
+        method with parallelism requested falls back to serial with a
+        notice on stderr rather than failing the run.
+        """
+        # Imported lazily: pipeline imports this module at top level
+        # (results, factory), so the dependency must point one way only
+        # at import time.
+        from .pipeline import resolve_cluster_jobs, run_serial, run_sharded
 
-            audit = AuditProbe.for_run(self, hierarchy, predictor,
-                                       telemetry)
-
-        cluster_size = self.regimen.cluster_size
-        detail_ramp = self.detail_ramp
-        cluster_ipcs: list[float] = []
-        position = 0
-        cost = method.cost
-        start_time = time.perf_counter()
-
-        for index, cluster_start in enumerate(self.regimen.cluster_starts()):
-            # The detailed ramp borrows its instructions from the end of
-            # the gap so cluster positions stay comparable across methods.
-            ramp = min(detail_ramp, max(0, cluster_start - position))
-            gap = cluster_start - position - ramp
-            if traced:
-                telemetry.begin_cluster()
-                cost_before = cost.as_dict()
-            with telemetry.phase(PHASE_COLD_SKIP):
-                if gap > 0:
-                    method.skip(gap)
-            position = cluster_start - ramp
-            with telemetry.phase(PHASE_RECONSTRUCT):
-                hook = method.pre_cluster()
-            if audit is not None:
-                audit.before_cluster(index, method)
-            with telemetry.phase(PHASE_HOT_SIM):
-                result = timing.run(
-                    cluster_size + ramp, pre_branch_hook=hook,
-                    measure_after=ramp,
-                )
-            with telemetry.phase(PHASE_RECONSTRUCT):
-                method.post_cluster()
-            position += result.instructions
-            cost.hot_instructions += result.instructions
-            cluster_ipcs.append(result.ipc)
-            if audit is not None:
-                # Emitted before end_cluster so the audit record sorts
-                # (stably) ahead of its cluster record after any merge.
-                audit.after_cluster(index, method, result.ipc)
-            if traced:
-                cost_now = cost.as_dict()
-                deltas = {
-                    name: cost_now[name] - cost_before[name]
-                    for name in cost_now
-                }
-                telemetry.observe("cluster.ipc", result.ipc)
-                telemetry.observe("cluster.gap", gap)
-                telemetry.end_cluster({
-                    "workload": self.workload.name,
-                    "method": method.name,
-                    "cluster": index,
-                    "start": cluster_start,
-                    "gap": gap,
-                    "ramp": ramp,
-                    "instructions": result.instructions,
-                    "ipc": result.ipc,
-                    "warm_updates": (deltas["cache_updates"]
-                                     + deltas["predictor_updates"]),
-                    **deltas,
-                })
-
-        wall_seconds = time.perf_counter() - start_time
-        # Diagnostic: the instruction-weighted (harmonic / CPI-based)
-        # estimate; the paper's estimator is the plain mean of cluster
-        # IPCs, which is what `estimate` reports.  A zero-cluster regimen
-        # (or any zero-IPC cluster) has no meaningful harmonic mean.
-        harmonic = (
-            len(cluster_ipcs) / sum(1.0 / ipc for ipc in cluster_ipcs)
-            if cluster_ipcs and all(ipc > 0 for ipc in cluster_ipcs)
-            else 0.0
-        )
-        extra = {"harmonic_mean_ipc": harmonic,
-                 "warmup_prefix": self.warmup_prefix}
-        if traced:
-            telemetry.set_gauge("run.wall_seconds", wall_seconds)
-            telemetry.set_gauge("run.clusters", len(cluster_ipcs))
-            extra["telemetry"] = telemetry.snapshot()
-            telemetry.flush_trace()
-        return SampledRunResult(
-            workload_name=self.workload.name,
-            method_name=method.name,
-            regimen=self.regimen,
-            cluster_ipcs=cluster_ipcs,
-            estimate=cluster_estimate(cluster_ipcs),
-            cost=cost,
-            wall_seconds=wall_seconds,
-            extra=extra,
-        )
+        jobs = resolve_cluster_jobs(self.cluster_jobs)
+        if jobs > 1:
+            if method.shardable:
+                return run_sharded(self, method, jobs)
+            print(
+                f"note: warm-up method {method.name!r} warms continuously "
+                f"across cluster boundaries and cannot be sharded; "
+                f"running serially (cluster-jobs={jobs} ignored)",
+                file=sys.stderr,
+            )
+        return run_serial(self, method)
 
 
 def measure_true_ipc(
@@ -279,14 +240,9 @@ def measure_true_ipc(
     measurement starts, so the baseline begins from the same steady state
     as sampled runs constructed with the same prefix.
     """
-    configs = configs if configs is not None else SimulatorConfigs()
-    machine = workload.make_machine()
-    hierarchy = MemoryHierarchy(configs.hierarchy)
-    predictor = BranchPredictor(configs.predictor)
-    timing = TimingSimulator(machine, hierarchy, predictor, configs.core)
-    steady_state_prefix(machine, hierarchy, predictor, warmup_prefix)
+    stack = build_simulation(workload, configs, warmup_prefix=warmup_prefix)
     start_time = time.perf_counter()
-    result = timing.run(total_instructions)
+    result = stack.timing.run(total_instructions)
     wall_seconds = time.perf_counter() - start_time
     return TrueRunResult(
         workload_name=workload.name,

@@ -1,0 +1,564 @@
+"""Two-phase execution pipeline: cold scan + cluster-sharded hot simulation.
+
+The classic controller loop (:func:`run_serial`) interleaves three kinds
+of work per cluster — cold functional skip, reconstruction, detailed
+timing — on one continuously evolving simulator.  Only the detailed
+timing is expensive, and for Reverse State Reconstruction it depends on
+nothing but (a) the architectural state at cluster entry and (b) the
+just-logged gap: exactly the locality the paper's §3 design buys.  The
+two-phase pipeline (:func:`run_sharded`) exploits it:
+
+- **Phase A — cold scan** (serial, fast): walk the regimen once doing
+  cold functional simulation only.  For every cluster, skip the gap with
+  the method's logging hooks, capture a picklable
+  :class:`~repro.functional.FunctionalCheckpoint`, detach the gap's
+  filled :class:`~repro.core.source.ReconstructionSource`, and advance
+  the machine cold across the cluster region.  Each cluster becomes one
+  :class:`ClusterShard`.
+- **Phase B — hot shards** (parallel): each shard independently restores
+  its checkpoint onto a fresh simulator stack, adopts the gap source,
+  runs the method's reconstruction plus the detailed ramp + cluster, and
+  returns its IPC, cost deltas, and telemetry snapshot.  Shards fan out
+  over :func:`repro.harness.parallel.map_tasks`
+  (``REPRO_CLUSTER_JOBS`` / ``--cluster-jobs``) and fold back
+  deterministically in cluster order.
+
+Exactness: architectural state in every shard is exact by construction
+(the checkpoint), so cluster positions, gap logs, and instruction counts
+match the serial walk bit for bit (the fold asserts the counts).  What a
+shard cannot reproduce is the *stale* microarchitectural state a serial
+run carries into each cluster underneath the method's reconstruction —
+shards start from empty caches/predictors plus the reconstruction alone.
+The residual per-cluster IPC bias is measured, not assumed: the
+``REPRO_AUDIT`` probes ride into the shard workers with per-cluster
+reference states, so audit records attribute it exactly as in serial
+runs.  Methods that warm continuously across cluster boundaries (SMARTS,
+fixed period, MRRL/BLRL) declare ``shardable = False`` and stay serial.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+
+from ..functional import FunctionalCheckpoint
+from ..telemetry import (
+    PHASE_COLD_SKIP,
+    PHASE_HOT_SIM,
+    PHASE_RECONSTRUCT,
+    TelemetrySnapshot,
+    audit_enabled,
+    merge_snapshots,
+    telemetry_from_env,
+)
+from ..warmup.base import SimulationContext
+from .controller import SampledRunResult, build_simulation
+from .statistics import cluster_estimate
+
+#: Environment variable resolved when ``SampledSimulator.cluster_jobs``
+#: is None: shard workers for the two-phase pipeline (1 = serial,
+#: 0 = one worker per CPU).
+CLUSTER_JOBS_ENV_VAR = "REPRO_CLUSTER_JOBS"
+
+
+def resolve_cluster_jobs(explicit: int | None = None) -> int:
+    """Effective shard-worker count: explicit setting, else the env var.
+
+    ``0`` means one worker per CPU; anything below zero (or a
+    non-integer environment value) raises ``ValueError`` so the CLI can
+    exit 2 with a readable message.
+    """
+    if explicit is None:
+        raw = os.environ.get(CLUSTER_JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            explicit = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CLUSTER_JOBS_ENV_VAR} must be an integer "
+                f"(got {raw!r})"
+            ) from None
+    jobs = int(explicit)
+    if jobs < 0:
+        raise ValueError(
+            f"cluster jobs must be >= 0 (0 = one per CPU), got {jobs}"
+        )
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def cluster_geometry(position: int, cluster_start: int,
+                     detail_ramp: int) -> tuple[int, int]:
+    """The controller's ramp-borrowing arithmetic for one cluster.
+
+    The detailed ramp borrows its instructions from the end of the gap
+    so cluster positions stay comparable across methods; returns
+    ``(ramp, gap)``.  Single-sourced here so the serial walk, the cold
+    scan, and the audit reference trajectory can never drift apart.
+    """
+    ramp = min(detail_ramp, max(0, cluster_start - position))
+    gap = cluster_start - position - ramp
+    return ramp, gap
+
+
+# ---------------------------------------------------------------------------
+# shard data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterShard:
+    """Phase A's hand-off for one cluster: everything Phase B needs.
+
+    `checkpoint` is the architectural state at cluster entry (before the
+    detailed ramp); `source` is the gap's filled reconstruction source,
+    telemetry-stripped for pickling; `skip_cost` carries the gap's
+    cold-scan cost deltas (functional instructions, log records) so the
+    shard's trace record shows the same per-cluster totals as a serial
+    run; `cold_instructions` is how far the cold scan advanced across
+    the cluster region — the fold cross-checks the shard retired exactly
+    that many.
+    """
+
+    index: int
+    cluster_start: int
+    gap: int
+    ramp: int
+    checkpoint: FunctionalCheckpoint
+    source: object
+    skip_cost: dict = field(default_factory=dict)
+    cold_instructions: int = 0
+    #: Single-state reference trajectory for the audit probe, or None
+    #: when auditing is off for this run.
+    audit_slice: object = None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable unit of Phase B work (one cluster on one worker)."""
+
+    workload: object
+    configs: object
+    regimen: object
+    #: One unbound method clone, pickled once per run and shared by
+    #: every task; each worker unpickles a private copy.
+    method_blob: bytes
+    shard: ClusterShard
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What one shard sends back for the deterministic fold."""
+
+    index: int
+    ipc: float
+    instructions: int
+    #: The worker-side WarmupCost as a dict: reconstruction updates,
+    #: on-demand counter writes, hot instructions.  Skip-side cost lives
+    #: on the parent's method already.
+    cost_delta: dict
+    snapshot: TelemetrySnapshot | None = None
+
+
+# ---------------------------------------------------------------------------
+# serial strategy (reference semantics)
+# ---------------------------------------------------------------------------
+
+
+def run_serial(simulator, method) -> SampledRunResult:
+    """The continuous serial walk (the paper's Figure 1 loop).
+
+    Cache and branch-predictor state flow continuously through the whole
+    run; this is the reference semantics every other strategy is
+    measured against.
+    """
+    configs = simulator.configs
+    telemetry = simulator._telemetry_session()
+    traced = telemetry.enabled
+    stack = build_simulation(simulator.workload, configs)
+    machine = stack.machine
+    timing = stack.timing
+    with telemetry.phase("prefix"):
+        stack.warm_prefix(simulator.warmup_prefix)
+    context = SimulationContext(
+        machine=machine,
+        hierarchy=stack.hierarchy,
+        predictor=stack.predictor,
+        regimen=simulator.regimen,
+        telemetry=telemetry,
+    )
+    method.bind(context)
+
+    # REPRO_AUDIT: per-cluster divergence probes against a cached
+    # perfectly-warmed reference trajectory.  Imported lazily — the
+    # analysis package depends on the controller — and resolved per
+    # run, so the audit-off hot path pays one env check and a None
+    # test per cluster.  Audit data rides the telemetry session; with
+    # an explicit null session there is nowhere to put it, so the
+    # probe is skipped.
+    audit = None
+    if audit_enabled() and traced:
+        from ..analysis.audit import AuditProbe
+
+        audit = AuditProbe.for_run(simulator, stack.hierarchy,
+                                   stack.predictor, telemetry)
+
+    cluster_size = simulator.regimen.cluster_size
+    detail_ramp = simulator.detail_ramp
+    cluster_ipcs: list[float] = []
+    position = 0
+    cost = method.cost
+    start_time = time.perf_counter()
+
+    for index, cluster_start in enumerate(simulator.regimen.cluster_starts()):
+        ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
+        if traced:
+            telemetry.begin_cluster()
+            cost_before = cost.as_dict()
+        with telemetry.phase(PHASE_COLD_SKIP):
+            if gap > 0:
+                method.skip(gap)
+        position = cluster_start - ramp
+        with telemetry.phase(PHASE_RECONSTRUCT):
+            hook = method.pre_cluster()
+        if audit is not None:
+            audit.before_cluster(index, method)
+        with telemetry.phase(PHASE_HOT_SIM):
+            result = timing.run(
+                cluster_size + ramp, pre_branch_hook=hook,
+                measure_after=ramp,
+            )
+        with telemetry.phase(PHASE_RECONSTRUCT):
+            method.post_cluster()
+        # The hot cluster fetched instruction blocks outside machine.run,
+        # so the ifetch-continuity marker no longer names the last block
+        # the caches saw; drop it so the next skip re-reports its first
+        # block (and logs stay identical to the sharded cold scan).
+        machine.invalidate_fetch_block()
+        position += result.instructions
+        cost.hot_instructions += result.instructions
+        cluster_ipcs.append(result.ipc)
+        if audit is not None:
+            # Emitted before end_cluster so the audit record sorts
+            # (stably) ahead of its cluster record after any merge.
+            audit.after_cluster(index, method, result.ipc)
+        if traced:
+            cost_now = cost.as_dict()
+            deltas = {
+                name: cost_now[name] - cost_before[name]
+                for name in cost_now
+            }
+            telemetry.observe("cluster.ipc", result.ipc)
+            telemetry.observe("cluster.gap", gap)
+            telemetry.end_cluster({
+                "workload": simulator.workload.name,
+                "method": method.name,
+                "cluster": index,
+                "start": cluster_start,
+                "gap": gap,
+                "ramp": ramp,
+                "instructions": result.instructions,
+                "ipc": result.ipc,
+                "warm_updates": (deltas["cache_updates"]
+                                 + deltas["predictor_updates"]),
+                **deltas,
+            })
+
+    wall_seconds = time.perf_counter() - start_time
+    extra = {"harmonic_mean_ipc": _harmonic_mean(cluster_ipcs),
+             "warmup_prefix": simulator.warmup_prefix}
+    if traced:
+        telemetry.set_gauge("run.wall_seconds", wall_seconds)
+        telemetry.set_gauge("run.clusters", len(cluster_ipcs))
+        extra["telemetry"] = telemetry.snapshot()
+        telemetry.flush_trace()
+    return SampledRunResult(
+        workload_name=simulator.workload.name,
+        method_name=method.name,
+        regimen=simulator.regimen,
+        cluster_ipcs=cluster_ipcs,
+        estimate=cluster_estimate(cluster_ipcs),
+        cost=cost,
+        wall_seconds=wall_seconds,
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# two-phase sharded strategy
+# ---------------------------------------------------------------------------
+
+
+def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
+    """Phase A cold scan, Phase B parallel hot shards, deterministic fold.
+
+    Requires ``method.shardable``; the caller
+    (:meth:`~repro.sampling.controller.SampledSimulator.run`) enforces
+    that and the serial fallback for everything else.
+    """
+    configs = simulator.configs
+    telemetry = simulator._telemetry_session()
+    traced = telemetry.enabled
+    stack = build_simulation(simulator.workload, configs)
+    machine = stack.machine
+    with telemetry.phase("prefix"):
+        stack.warm_prefix(simulator.warmup_prefix)
+    # The clone template is pickled before bind, while the method holds
+    # configuration only; every shard worker unpickles a private copy
+    # and binds it to its own context.
+    method_blob = pickle.dumps(method.clone_unbound())
+    context = SimulationContext(
+        machine=machine,
+        hierarchy=stack.hierarchy,
+        predictor=stack.predictor,
+        regimen=simulator.regimen,
+        telemetry=telemetry,
+    )
+    method.bind(context)
+
+    audit_slices = None
+    if audit_enabled() and traced:
+        from ..analysis.audit import (
+            ReferenceTrajectory,
+            reference_trajectory_for,
+        )
+
+        trajectory = reference_trajectory_for(
+            simulator.workload, simulator.regimen, configs,
+            warmup_prefix=simulator.warmup_prefix,
+            detail_ramp=simulator.detail_ramp,
+        )
+        # Each shard receives only its own cluster's reference state,
+        # wrapped as a single-state trajectory (the probe keys states by
+        # cluster index, not position).
+        audit_slices = {
+            state.cluster_index: ReferenceTrajectory(
+                workload_name=trajectory.workload_name,
+                true_ipc=trajectory.true_ipc,
+                states=(state,),
+            )
+            for state in trajectory.states
+        }
+
+    cluster_size = simulator.regimen.cluster_size
+    detail_ramp = simulator.detail_ramp
+    cost = method.cost
+    start_time = time.perf_counter()
+
+    # -- Phase A: serial cold scan, one ClusterShard per cluster ----------
+    shards: list[ClusterShard] = []
+    position = 0
+    for index, cluster_start in enumerate(simulator.regimen.cluster_starts()):
+        ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
+        functional_before = cost.functional_instructions
+        records_before = cost.log_records
+        with telemetry.phase(PHASE_COLD_SKIP):
+            if gap > 0:
+                method.skip(gap)
+            position = cluster_start - ramp
+            checkpoint = FunctionalCheckpoint.capture(machine)
+            source = method.detach_source()
+            # Advance cold across the cluster region the shard will
+            # simulate in detail; hook-less execution invalidates the
+            # ifetch marker itself, but do it explicitly so a halted
+            # machine behaves like the serial walk too.
+            cold = machine.run(cluster_size + ramp)
+            machine.invalidate_fetch_block()
+        position += cold
+        shards.append(ClusterShard(
+            index=index,
+            cluster_start=cluster_start,
+            gap=gap,
+            ramp=ramp,
+            checkpoint=checkpoint,
+            source=source,
+            skip_cost={
+                "functional_instructions":
+                    cost.functional_instructions - functional_before,
+                "log_records": cost.log_records - records_before,
+            },
+            cold_instructions=cold,
+            audit_slice=(audit_slices.get(index)
+                         if audit_slices is not None else None),
+        ))
+
+    # -- Phase B: hot shards in parallel ----------------------------------
+    tasks = [
+        ShardTask(
+            workload=simulator.workload,
+            configs=configs,
+            regimen=simulator.regimen,
+            method_blob=method_blob,
+            shard=shard,
+        )
+        for shard in shards
+    ]
+    # Lazy: harness.parallel imports the sampling package at top level.
+    from ..harness.parallel import map_tasks
+
+    results = map_tasks(run_shard, tasks, jobs)
+
+    # -- fold, in cluster order -------------------------------------------
+    cluster_ipcs: list[float] = []
+    worker_snapshots: list[TelemetrySnapshot] = []
+    for shard, result in zip(shards, results):
+        if result.instructions != shard.cold_instructions:
+            raise RuntimeError(
+                f"cluster shard {shard.index} retired "
+                f"{result.instructions} instructions but the cold scan "
+                f"advanced {shard.cold_instructions}; the checkpoint "
+                f"hand-off is corrupt"
+            )
+        cluster_ipcs.append(result.ipc)
+        delta = result.cost_delta
+        cost.hot_instructions += delta["hot_instructions"]
+        cost.cache_updates += delta["cache_updates"]
+        cost.predictor_updates += delta["predictor_updates"]
+        if result.snapshot is not None:
+            worker_snapshots.append(result.snapshot)
+
+    wall_seconds = time.perf_counter() - start_time
+    extra = {
+        "harmonic_mean_ipc": _harmonic_mean(cluster_ipcs),
+        "warmup_prefix": simulator.warmup_prefix,
+        "sharded": True,
+        "cluster_jobs": jobs,
+    }
+    if traced:
+        # Worker trace records flow through the parent session (so a
+        # REPRO_TRACE file contains every cluster exactly once) ...
+        for snapshot in worker_snapshots:
+            for record in snapshot.trace_records:
+                telemetry.emit(record)
+        telemetry.set_gauge("run.wall_seconds", wall_seconds)
+        telemetry.set_gauge("run.clusters", len(cluster_ipcs))
+        telemetry.set_gauge("run.cluster_jobs", jobs)
+        # ... while their counters/histograms/phase timers merge into
+        # the run snapshot, records-stripped to avoid double counting.
+        merged = merge_snapshots(
+            [telemetry.snapshot()]
+            + [_without_records(s) for s in worker_snapshots]
+        )
+        extra["telemetry"] = merged
+        telemetry.flush_trace()
+    return SampledRunResult(
+        workload_name=simulator.workload.name,
+        method_name=method.name,
+        regimen=simulator.regimen,
+        cluster_ipcs=cluster_ipcs,
+        estimate=cluster_estimate(cluster_ipcs),
+        cost=cost,
+        wall_seconds=wall_seconds,
+        extra=extra,
+    )
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Phase B worker: one cluster, restored from its shard.
+
+    Module-level and driven purely by the picklable `task`, so it runs
+    identically in a pool worker or in-process (the fallback when no
+    pool is available — e.g. sharding inside a matrix worker).
+    """
+    shard = task.shard
+    telemetry = telemetry_from_env()
+    traced = telemetry.enabled
+    stack = build_simulation(task.workload, task.configs)
+    shard.checkpoint.restore(stack.machine)
+    context = SimulationContext(
+        machine=stack.machine,
+        hierarchy=stack.hierarchy,
+        predictor=stack.predictor,
+        regimen=task.regimen,
+        telemetry=telemetry,
+    )
+    method = pickle.loads(task.method_blob)
+    method.bind(context)
+    method.adopt_source(shard.source)
+
+    audit = None
+    if shard.audit_slice is not None and traced:
+        from ..analysis.audit import AuditProbe
+
+        audit = AuditProbe(shard.audit_slice, stack.hierarchy,
+                           stack.predictor, telemetry)
+
+    cost = method.cost
+    if traced:
+        telemetry.begin_cluster()
+    with telemetry.phase(PHASE_RECONSTRUCT):
+        hook = method.pre_cluster()
+    if audit is not None:
+        audit.before_cluster(shard.index, method)
+    with telemetry.phase(PHASE_HOT_SIM):
+        result = stack.timing.run(
+            task.regimen.cluster_size + shard.ramp,
+            pre_branch_hook=hook,
+            measure_after=shard.ramp,
+        )
+    with telemetry.phase(PHASE_RECONSTRUCT):
+        method.post_cluster()
+    cost.hot_instructions += result.instructions
+    if audit is not None:
+        audit.after_cluster(shard.index, method, result.ipc)
+    if traced:
+        # The record shows the cluster's full per-phase cost: the
+        # worker's own (reconstruction, hot) plus the gap's cold-scan
+        # share handed over by Phase A.
+        deltas = cost.as_dict()
+        for name, value in shard.skip_cost.items():
+            deltas[name] += value
+        telemetry.observe("cluster.ipc", result.ipc)
+        telemetry.observe("cluster.gap", shard.gap)
+        telemetry.end_cluster({
+            "workload": task.workload.name,
+            "method": method.name,
+            "cluster": shard.index,
+            "start": shard.cluster_start,
+            "gap": shard.gap,
+            "ramp": shard.ramp,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            "warm_updates": (deltas["cache_updates"]
+                             + deltas["predictor_updates"]),
+            **deltas,
+        })
+    return ShardResult(
+        index=shard.index,
+        ipc=result.ipc,
+        instructions=result.instructions,
+        cost_delta=cost.as_dict(),
+        snapshot=telemetry.snapshot() if traced else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _harmonic_mean(cluster_ipcs: list[float]) -> float:
+    """Instruction-weighted (harmonic / CPI-based) diagnostic estimate.
+
+    The paper's estimator is the plain mean of cluster IPCs, which is
+    what ``SampledRunResult.estimate`` reports.  A zero-cluster regimen
+    (or any zero-IPC cluster) has no meaningful harmonic mean.
+    """
+    if cluster_ipcs and all(ipc > 0 for ipc in cluster_ipcs):
+        return len(cluster_ipcs) / sum(1.0 / ipc for ipc in cluster_ipcs)
+    return 0.0
+
+
+def _without_records(snapshot: TelemetrySnapshot) -> TelemetrySnapshot:
+    """A copy of `snapshot` minus trace records (already re-emitted)."""
+    return TelemetrySnapshot(
+        counters=snapshot.counters,
+        gauges=snapshot.gauges,
+        histograms=snapshot.histograms,
+        phase_seconds=snapshot.phase_seconds,
+        trace_records=[],
+    )

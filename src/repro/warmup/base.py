@@ -18,6 +18,7 @@ Lifecycle per sampled run::
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from ..telemetry import NULL_TELEMETRY
@@ -104,6 +105,16 @@ class WarmupMethod:
     warms_cache = False
     #: Does the method repair branch-predictor state?
     warms_predictor = False
+    #: Can the method's clusters run as independent shards?  True only
+    #: when everything :meth:`pre_cluster` needs is localized to the
+    #: current gap (RSR: the skip-region log), so a shard that restores
+    #: the gap-end architectural checkpoint and adopts the gap's
+    #: reconstruction source reproduces the method's state repair.
+    #: Methods that warm *continuously* through the run (SMARTS, fixed
+    #: period, MRRL/BLRL) carry microarchitectural state across cluster
+    #: boundaries and must stay on the serial path.  A shardable method
+    #: must implement :meth:`detach_source` and :meth:`adopt_source`.
+    shardable = False
 
     def __init__(self) -> None:
         self.context: SimulationContext | None = None
@@ -141,6 +152,46 @@ class WarmupMethod:
         A no-op for eager methods.  Analysis tooling (state-fidelity
         scoring) calls this at cluster entry so on-demand methods can be
         compared on the state their probes *would* observe."""
+
+    # -- cluster sharding (two-phase pipeline) -------------------------------
+
+    def clone_unbound(self) -> "WarmupMethod":
+        """A fresh, unbound copy carrying only this method's configuration.
+
+        The two-phase pipeline pickles one clone per run and unpickles it
+        in every shard worker, where :meth:`bind` rebuilds all per-run
+        state.  The default shallow-copies and re-runs the base
+        bookkeeping reset; subclasses holding per-run state that
+        :meth:`bind` does not fully rebuild (or that is expensive or
+        unsafe to pickle) must extend this to purge it.
+        """
+        clone = copy.copy(self)
+        WarmupMethod.__init__(clone)
+        return clone
+
+    def detach_source(self):
+        """Surrender the just-logged gap's reconstruction source.
+
+        Called by the cold-scan phase after :meth:`skip`, instead of
+        :meth:`pre_cluster`: the returned source travels (pickled) to the
+        shard worker that simulates the following cluster, and the method
+        must swap in a fresh, empty source for the next gap.  Only
+        meaningful when :attr:`shardable` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not shardable"
+        )
+
+    def adopt_source(self, source) -> None:
+        """Install a handed-off gap source (shard-worker side).
+
+        The worker calls this on its freshly bound method clone before
+        :meth:`pre_cluster`, so reconstruction consumes the gap logged by
+        the cold scan.  Only meaningful when :attr:`shardable` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not shardable"
+        )
 
     # -- shared helpers ------------------------------------------------------
 

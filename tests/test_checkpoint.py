@@ -1,0 +1,112 @@
+"""Property tests for FunctionalCheckpoint capture/pickle/restore.
+
+The two-phase pipeline rests on one claim: a checkpoint restored onto a
+fresh machine is indistinguishable — architecturally — from the machine
+it was captured on.  These tests state that as a trace property: after
+``capture -> pickle -> restore``, the next N instructions produce the
+identical stream of (pc, next pc, memory address, taken bit) on both
+machines, for every bundled workload.
+"""
+
+import pickle
+
+import pytest
+
+from repro.functional import FunctionalCheckpoint
+from repro.workloads import available_workloads, build_workload
+
+#: Instructions executed before capture (past the trivial startup code)
+#: and compared after restore.
+WARMUP = 1_500
+TRACE = 600
+
+
+def _trace(machine, count):
+    """The next `count` steps as (index, next_index, taken, mem, halted)."""
+    events = []
+    for _ in range(count):
+        result = machine.step()
+        events.append((result.index, result.next_index, result.taken,
+                       result.mem_address, result.halted))
+        if result.halted:
+            break
+    return events
+
+
+@pytest.mark.parametrize("name", available_workloads())
+def test_roundtrip_preserves_execution_trace(name):
+    workload = build_workload(name)
+    original = workload.make_machine()
+    original.run(WARMUP)
+
+    checkpoint = FunctionalCheckpoint.capture(original)
+    blob = pickle.dumps(checkpoint)
+
+    restored_machine = workload.make_machine()
+    pickle.loads(blob).restore(restored_machine)
+
+    assert restored_machine.pc == original.pc
+    assert restored_machine.instructions_retired == \
+        original.instructions_retired
+    assert _trace(restored_machine, TRACE) == _trace(original, TRACE)
+    # Both machines arrive at the same architectural state afterwards.
+    assert restored_machine.pc == original.pc
+    assert list(restored_machine.registers) == list(original.registers)
+
+
+def test_restore_overwrites_diverged_machine():
+    """Restoring onto a machine that ran elsewhere rewinds it exactly."""
+    workload = build_workload("mcf")
+    original = workload.make_machine()
+    original.run(WARMUP)
+    checkpoint = FunctionalCheckpoint.capture(original)
+
+    diverged = workload.make_machine()
+    diverged.run(WARMUP + 3_000)  # well past the capture point
+
+    checkpoint.restore(diverged)
+    assert _trace(diverged, TRACE) == _trace(original, TRACE)
+
+
+def test_restore_invalidates_ifetch_marker():
+    """A restore moves execution discontinuously, so the ifetch-continuity
+    marker must drop — the next observed run re-reports its first block."""
+    workload = build_workload("ammp")
+    machine = workload.make_machine()
+    machine.run(200, ifetch_hook=lambda address: None)
+    assert machine._last_fetch[1] != -1
+
+    checkpoint = FunctionalCheckpoint.capture(machine)
+    checkpoint.restore(machine)
+    assert machine._last_fetch == (0, -1)
+
+    fetched = []
+    machine.run(1, ifetch_hook=fetched.append)
+    assert len(fetched) == 1
+
+
+def test_checkpoint_is_frozen_and_carries_resident_words():
+    workload = build_workload("gcc")
+    machine = workload.make_machine()
+    machine.run(WARMUP)
+    checkpoint = FunctionalCheckpoint.capture(machine)
+    assert checkpoint.resident_words() > 0
+    with pytest.raises(AttributeError):
+        checkpoint.pc = 0
+
+
+def test_checkpoint_memory_is_isolated():
+    """Stores on the restored machine never leak back into the capture
+    (each restore builds a private memory image)."""
+    workload = build_workload("vortex")
+    machine = workload.make_machine()
+    machine.run(WARMUP)
+    checkpoint = FunctionalCheckpoint.capture(machine)
+
+    first = workload.make_machine()
+    checkpoint.restore(first)
+    first.run(2_000)  # mutate memory past the capture point
+
+    second = workload.make_machine()
+    checkpoint.restore(second)
+    assert _trace(second, TRACE) == _trace(machine, TRACE)

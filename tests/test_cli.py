@@ -339,3 +339,68 @@ class TestAuditCommand:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Bogus" in err
+
+
+class TestClusterJobs:
+    """--cluster-jobs / REPRO_CLUSTER_JOBS plumbing on the CLI."""
+
+    @pytest.mark.parametrize("command", [
+        ["sample", "ammp"],
+        ["matrix"],
+        ["profile", "gcc"],
+    ])
+    def test_flag_parses(self, command):
+        args = build_parser().parse_args(command + ["--cluster-jobs", "2"])
+        assert args.cluster_jobs == 2
+
+    def test_flag_defaults_to_env_resolution(self):
+        args = build_parser().parse_args(["sample", "ammp"])
+        assert args.cluster_jobs is None
+
+    def test_methods_lists_shardable_column(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "shardable" in out
+        lines = {line.split()[0]: line for line in out.splitlines()
+                 if line.strip() and not line.startswith(("name", "-"))}
+        assert lines["R$BP"].rstrip().endswith("yes")
+        assert lines["S$BP"].rstrip().endswith("no")
+
+    def test_sample_runs_sharded(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        assert main(["sample", "ammp", "--method", "rsr",
+                     "--cluster-jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "R$BP (100%)" in out
+        assert "rel. error" in out
+
+    def test_non_shardable_method_notice(self, capsys, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        assert main(["sample", "ammp", "--method", "S$BP",
+                     "--cluster-jobs", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "cannot be sharded" in err
+        assert "Traceback" not in err
+
+    def test_negative_cluster_jobs_exits_2(self, capsys, monkeypatch,
+                                           tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        assert main(["sample", "ammp", "--method", "None",
+                     "--cluster-jobs", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_matrix_bad_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.setenv("REPRO_CLUSTER_JOBS", "lots")
+        assert main(["matrix", "--workload", "ammp", "--method", "None",
+                     "--jobs", "1", "--cache", "off", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_CLUSTER_JOBS" in err
+        assert "Traceback" not in err

@@ -58,6 +58,13 @@ class TestRows:
                 assert column in row
                 assert row[column] is None
 
+    def test_shard_columns_default_for_serial_runs(self, matrix):
+        # Serial cells still carry the shard-provenance columns so the
+        # CSV/JSON schema is identical with and without --cluster-jobs.
+        for row in matrix_rows(matrix):
+            assert row["sharded"] is False
+            assert row["cluster_jobs"] == 1
+
     def test_compaction_columns_populated_when_traced(self, monkeypatch):
         from repro.telemetry import COLLECT_ENV_VAR
 

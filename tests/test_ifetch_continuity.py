@@ -1,0 +1,121 @@
+"""Regression tests for ifetch dedup continuity across run() calls.
+
+The controller drives one logical instruction stream through many
+``FunctionalMachine.run`` calls (prefix, per-gap skips, cold cluster
+advances).  The ifetch filter exists because repeated fetches within one
+cache block cannot change cache state; that argument is about the
+*stream*, not about call boundaries.  Historically each ``run`` call
+reset the filter, so every phase boundary that landed mid-block
+re-reported a block the caches had already seen — inflating warm access
+counts at every gap/cluster boundary.  The marker now lives on the
+machine and carries across observed calls.
+"""
+
+import pytest
+
+from repro.sampling import SimulatorConfigs, build_simulation
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("ammp")
+
+
+def _fetch_stream(machine, chunks, block_bytes=64):
+    """Addresses reported by ifetch while running `chunks` back to back."""
+    fetched = []
+    for count in chunks:
+        machine.run(count, ifetch_hook=fetched.append,
+                    ifetch_block_bytes=block_bytes)
+    return fetched
+
+
+class TestSplitInvariance:
+    @pytest.mark.parametrize("split", [1, 7, 50, 333])
+    def test_two_calls_match_one(self, workload, split):
+        """Splitting a run at any point must not change the fetch stream
+        (the boundary is a phase boundary, not a fetch)."""
+        total = 600
+        split_stream = _fetch_stream(workload.make_machine(),
+                                     [split, total - split])
+        whole_stream = _fetch_stream(workload.make_machine(), [total])
+        assert split_stream == whole_stream
+
+    def test_many_gap_sized_calls_match_one(self, workload):
+        """The controller's skip/advance cadence: many small observed
+        runs report exactly the blocks of one continuous run."""
+        chunks = [80] * 10
+        split_stream = _fetch_stream(workload.make_machine(), chunks)
+        whole_stream = _fetch_stream(workload.make_machine(),
+                                     [sum(chunks)])
+        assert split_stream == whole_stream
+
+    def test_block_size_change_breaks_continuity(self, workload):
+        """A marker recorded for one block geometry must not suppress
+        the first fetch of a differently-sized block."""
+        machine = workload.make_machine()
+        machine.run(50, ifetch_hook=lambda address: None,
+                    ifetch_block_bytes=64)
+        fetched = []
+        machine.run(1, ifetch_hook=fetched.append, ifetch_block_bytes=32)
+        assert len(fetched) == 1
+
+
+class TestContinuityBreaks:
+    def test_hookless_run_invalidates_marker(self, workload):
+        """Blocks fetched unobserved (the sharded cold advance) break
+        continuity: the next observed run re-reports its first block."""
+        machine = workload.make_machine()
+        machine.run(50, ifetch_hook=lambda address: None)
+        machine.run(50)  # unobserved: caches saw none of these fetches
+        assert machine._last_fetch == (0, -1)
+        fetched = []
+        machine.run(1, ifetch_hook=fetched.append)
+        assert len(fetched) == 1
+
+    def test_zero_instruction_run_keeps_marker(self, workload):
+        machine = workload.make_machine()
+        machine.run(50, ifetch_hook=lambda address: None)
+        marker = machine._last_fetch
+        machine.run(0)
+        assert machine._last_fetch == marker
+
+
+class TestWarmAccessPinning:
+    def test_warm_access_counts_across_gap_cluster_boundary(self, workload):
+        """The ISSUE's regression: warm-access counts across a gap/cluster
+        boundary equal those of an unsplit run.  Drives the real warming
+        hooks (steady_state_prefix wiring) through a split boundary and
+        pins the hierarchy/predictor update totals to the unsplit run's.
+        """
+        def warmed_counts(chunks):
+            stack = build_simulation(workload, SimulatorConfigs())
+            counts = {"mem": 0, "branch": 0, "ifetch": 0}
+
+            def mem_hook(pc, next_pc, address, is_store):
+                counts["mem"] += 1
+                stack.hierarchy.warm_access(address, is_store, False)
+
+            def branch_hook(pc, next_pc, inst, taken):
+                counts["branch"] += 1
+                stack.predictor.update(pc, inst, taken, next_pc)
+
+            def ifetch_hook(address):
+                counts["ifetch"] += 1
+                stack.hierarchy.warm_access(address, False, True)
+
+            for count in chunks:
+                stack.machine.run(
+                    count, mem_hook=mem_hook, branch_hook=branch_hook,
+                    ifetch_hook=ifetch_hook,
+                    ifetch_block_bytes=(
+                        stack.hierarchy.l1i.config.line_bytes),
+                )
+            return counts
+
+        # gap | cluster | gap | cluster, versus one continuous run.
+        split = warmed_counts([700, 300, 700, 300])
+        whole = warmed_counts([2_000])
+        assert split == whole
+        assert split["ifetch"] > 0
