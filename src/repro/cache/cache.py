@@ -8,20 +8,44 @@ hardware hook the paper's §3.1 algorithm relies on:
      reconstructed.  These bits are cleared before the logged data are
      used to warm the cache."
 
+State layout
+------------
+
+Block state lives in flat typed stores indexed ``set * associativity +
+way`` — ``tag_store`` (``array('q')``, −1 = invalid), ``dirty_bits`` and
+``recon_bits`` (``bytearray``), and ``recon_count`` (``array('H')``, one
+count per set).  The flat stores are the canonical representation: they
+give C-speed bulk operations (``begin_reconstruction`` and ``reset`` are
+slice fills instead of per-way Python loops) and a compact, contiguous
+form for bulk consumers such as the vectorized reverse reconstructor.
+
+The forward-time tag scan additionally keeps a per-set *list* mirror of
+the tag column (``_tag_rows``): CPython scans a small list of cached
+ints measurably faster than a flat typed array, which re-boxes every
+element it reads.  The mirror is updated at the few tag-write sites
+(miss fill, reconstruction insert, ``load_state``, ``reset``) and is an
+implementation detail — external readers use the read-only ``tags`` /
+``dirty`` / ``reconstructed`` views, which render the legacy
+list-of-lists shape (``None`` marks an invalid way).
+
 Two access families are exposed:
 
 - :meth:`Cache.access` — a normal (forward-time) access that updates tags,
   recency, and dirty bits according to the write policy.  Used by detailed
   simulation and by SMARTS-style functional warming.
 - :meth:`Cache.begin_reconstruction` / :meth:`Cache.reconstruct_reference`
-  — the reverse-order primitives: the *first* reference seen for a block
-  (i.e. the most recent in program order) wins, reconstructed blocks are
-  ranked MRU-first in discovery order, and victims are chosen among
-  *stale* (not-yet-reconstructed) blocks only.
+  / :meth:`Cache.reconstruct_line` — the reverse-order primitives: the
+  *first* reference seen for a block (i.e. the most recent in program
+  order) wins, reconstructed blocks are ranked MRU-first in discovery
+  order, and victims are chosen among *stale* (not-yet-reconstructed)
+  blocks only.  :meth:`Cache.reconstruct_line` takes a pre-split
+  (set, tag) pair so bulk callers that split addresses with numpy skip
+  the per-reference address arithmetic.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from .config import CacheConfig, WritePolicy
@@ -66,6 +90,45 @@ class AccessResult:
     evicted_address: int | None = None
 
 
+class _SetView:
+    """Read-only list-of-lists rendering of a flat per-block column.
+
+    Supports the access patterns the legacy list-of-lists attributes
+    served — ``view[set_index]`` returns a fresh per-set list (so
+    ``view[s][w]``, ``view[s].count(None)`` etc. work), iteration yields
+    one list per set, and ``len(view)`` is the set count.  Each row is
+    rendered on demand from the flat store, so a view is always current.
+    """
+
+    __slots__ = ("_render", "_num_sets")
+
+    def __init__(self, render, num_sets: int) -> None:
+        self._render = render
+        self._num_sets = num_sets
+
+    def __len__(self) -> int:
+        return self._num_sets
+
+    def __getitem__(self, set_index: int) -> list:
+        if set_index < 0:
+            set_index += self._num_sets
+        if not 0 <= set_index < self._num_sets:
+            raise IndexError("cache set index out of range")
+        return self._render(set_index)
+
+    def __iter__(self):
+        render = self._render
+        return (render(index) for index in range(self._num_sets))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _SetView):
+            other = list(other)
+        return list(self) == other
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+
 class Cache:
     """One level of set-associative cache with true-LRU replacement."""
 
@@ -76,19 +139,57 @@ class Cache:
         self._line_shift = config.line_bytes.bit_length() - 1
         self._index_mask = self.num_sets - 1
         self._sets_power_of_two = (self.num_sets & (self.num_sets - 1)) == 0
+        self._set_bits = self.num_sets.bit_length() - 1
+        self._wbwa = config.write_policy is WritePolicy.WBWA
+        self._wtna = config.write_policy is WritePolicy.WTNA
         assoc = self.associativity
         sets = self.num_sets
-        #: tags[s][w] is the line tag stored in way w of set s (None=invalid).
-        self.tags: list[list[int | None]] = [[None] * assoc for _ in range(sets)]
-        self.dirty: list[list[bool]] = [[False] * assoc for _ in range(sets)]
-        self.reconstructed: list[list[bool]] = [
-            [False] * assoc for _ in range(sets)
-        ]
+        blocks = sets * assoc
+        #: Flat canonical stores, indexed ``set * associativity + way``.
+        self.tag_store: array = array("q", [-1]) * blocks
+        self.dirty_bits = bytearray(blocks)
+        self.recon_bits = bytearray(blocks)
+        #: Number of ways reconstructed so far per set (reverse warm-up).
+        self.recon_count: array = array("H", bytes(2 * sets))
+        #: Per-set list mirror of the tag column (fast forward scan).
+        self._tag_rows: list[list[int]] = [[-1] * assoc for _ in range(sets)]
         #: order[s] lists way indices from most- to least-recently used.
         self.order: list[list[int]] = [list(range(assoc)) for _ in range(sets)]
-        #: Number of ways reconstructed so far in set s (reverse warm-up).
-        self.recon_count: list[int] = [0] * sets
         self.stats = CacheStats()
+        # Invariant templates for C-speed bulk clears.
+        self._empty_tag_store = array("q", [-1]) * blocks
+        self._zero_blocks = bytes(blocks)
+        self._zero_counts = array("H", bytes(2 * sets))
+
+    # -- legacy read-only views ---------------------------------------------
+
+    @property
+    def tags(self) -> _SetView:
+        """tags[s][w] is the line tag in way w of set s (None=invalid)."""
+        rows = self._tag_rows
+        return _SetView(
+            lambda s: [t if t >= 0 else None for t in rows[s]], self.num_sets
+        )
+
+    @property
+    def dirty(self) -> _SetView:
+        """dirty[s][w] is the dirty bit of way w of set s."""
+        bits = self.dirty_bits
+        assoc = self.associativity
+        return _SetView(
+            lambda s: [b == 1 for b in bits[s * assoc:(s + 1) * assoc]],
+            self.num_sets,
+        )
+
+    @property
+    def reconstructed(self) -> _SetView:
+        """reconstructed[s][w] is the §3.1 reconstructed bit of way w."""
+        bits = self.recon_bits
+        assoc = self.associativity
+        return _SetView(
+            lambda s: [b == 1 for b in bits[s * assoc:(s + 1) * assoc]],
+            self.num_sets,
+        )
 
     # -- address helpers --------------------------------------------------
 
@@ -100,12 +201,12 @@ class Cache:
         """Return (set index, tag) for `address`."""
         line = address >> self._line_shift
         if self._sets_power_of_two:
-            return line & self._index_mask, line >> self.num_sets.bit_length() - 1
+            return line & self._index_mask, line >> self._set_bits
         return line % self.num_sets, line // self.num_sets
 
     def _address_of(self, set_index: int, tag: int) -> int:
         if self._sets_power_of_two:
-            line = (tag << (self.num_sets.bit_length() - 1)) | set_index
+            line = (tag << self._set_bits) | set_index
         else:
             line = tag * self.num_sets + set_index
         return line << self._line_shift
@@ -117,39 +218,45 @@ class Cache:
         stats = self.stats
         stats.accesses += 1
         stats.updates += 1
-        set_index, tag = self.split_address(address)
-        tags = self.tags[set_index]
+        line = address >> self._line_shift
+        if self._sets_power_of_two:
+            set_index = line & self._index_mask
+            tag = line >> self._set_bits
+        else:
+            set_index = line % self.num_sets
+            tag = line // self.num_sets
+        row = self._tag_rows[set_index]
         order = self.order[set_index]
 
-        for way, stored in enumerate(tags):
+        for way, stored in enumerate(row):
             if stored == tag:
                 stats.hits += 1
                 if order[0] != way:
                     order.remove(way)
                     order.insert(0, way)
-                if is_write and self.config.write_policy is WritePolicy.WBWA:
-                    self.dirty[set_index][way] = True
+                if is_write and self._wbwa:
+                    self.dirty_bits[set_index * self.associativity + way] = 1
                 return AccessResult(hit=True)
 
         stats.misses += 1
-        if is_write and self.config.write_policy is WritePolicy.WTNA:
+        if is_write and self._wtna:
             # Write miss with no-write-allocate: the line is not brought in.
             return AccessResult(hit=False)
 
         victim = order[-1]
-        evicted_tag = tags[victim]
+        base = set_index * self.associativity
+        evicted_tag = row[victim]
         writeback_address = None
         evicted_address = None
-        if evicted_tag is not None:
+        if evicted_tag >= 0:
             evicted_address = self._address_of(set_index, evicted_tag)
             stats.evictions += 1
-            if self.dirty[set_index][victim]:
+            if self.dirty_bits[base + victim]:
                 stats.writebacks += 1
                 writeback_address = evicted_address
-        tags[victim] = tag
-        self.dirty[set_index][victim] = (
-            is_write and self.config.write_policy is WritePolicy.WBWA
-        )
+        row[victim] = tag
+        self.tag_store[base + victim] = tag
+        self.dirty_bits[base + victim] = 1 if is_write and self._wbwa else 0
         order.remove(victim)
         order.insert(0, victim)
         return AccessResult(
@@ -161,17 +268,14 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Check residency without perturbing any state."""
         set_index, tag = self.split_address(address)
-        return tag in self.tags[set_index]
+        return tag in self._tag_rows[set_index]
 
     # -- reverse reconstruction primitives ---------------------------------
 
     def begin_reconstruction(self) -> None:
         """Clear all reconstructed bits (start of a reverse warm-up pass)."""
-        for bits in self.reconstructed:
-            for way in range(self.associativity):
-                bits[way] = False
-        for set_index in range(self.num_sets):
-            self.recon_count[set_index] = 0
+        self.recon_bits[:] = self._zero_blocks
+        self.recon_count[:] = self._zero_counts
 
     def set_fully_reconstructed(self, set_index: int) -> bool:
         """True once every way of `set_index` has been reconstructed."""
@@ -195,24 +299,36 @@ class Cache:
         - WTNA caches allocate even on logged writes, "to avoid history
           looking for a previous read".
         """
-        stats = self.stats
         set_index, tag = self.split_address(address)
+        return self.reconstruct_line(set_index, tag, is_write)
+
+    def reconstruct_line(
+        self, set_index: int, tag: int, is_write: bool = False
+    ) -> bool:
+        """:meth:`reconstruct_reference` for a pre-split (set, tag) pair.
+
+        Bulk callers (the vectorized reverse reconstructor) split whole
+        reference columns with numpy and feed winners through this entry
+        point, skipping the per-reference address arithmetic.
+        """
+        stats = self.stats
         count = self.recon_count[set_index]
         if count >= self.associativity:
             stats.reconstruction_skipped += 1
             return False
 
-        tags = self.tags[set_index]
-        bits = self.reconstructed[set_index]
+        row = self._tag_rows[set_index]
+        base = set_index * self.associativity
+        recon_bits = self.recon_bits
         order = self.order[set_index]
 
-        for way, stored in enumerate(tags):
+        for way, stored in enumerate(row):
             if stored == tag:
-                if bits[way]:
+                if recon_bits[base + way]:
                     stats.reconstruction_skipped += 1
                     return False
                 # Present but stale: promote to the next reconstruction rank.
-                bits[way] = True
+                recon_bits[base + way] = 1
                 order.remove(way)
                 order.insert(count, way)
                 self.recon_count[set_index] = count + 1
@@ -224,11 +340,10 @@ class Cache:
         # reconstructed blocks occupy order[0:count], order[-1] is always a
         # stale way here.
         victim = order[-1]
-        tags[victim] = tag
-        self.dirty[set_index][victim] = (
-            is_write and self.config.write_policy is WritePolicy.WBWA
-        )
-        bits[victim] = True
+        row[victim] = tag
+        self.tag_store[base + victim] = tag
+        self.dirty_bits[base + victim] = 1 if is_write and self._wbwa else 0
+        recon_bits[base + victim] = 1
         order.pop()
         order.insert(count, victim)
         self.recon_count[set_index] = count + 1
@@ -236,25 +351,48 @@ class Cache:
         stats.updates += 1
         return True
 
+    def reconstruct_winners(self, set_indices, tags, writes) -> int:
+        """Bulk-insert pre-filtered winner references, newest first.
+
+        The three columns run in parallel and must already be filtered to
+        the reverse-scan *winners* — the first occurrence of each line,
+        limited to the first `associativity` distinct lines per set (the
+        winner set depends only on the reference stream, never on cache
+        contents, so callers can compute it without consulting state).
+        Every winner therefore applies; state transitions and statistics
+        are charged through the same scalar primitive the reference
+        reverse scan uses, keeping bulk and scalar paths bit-identical.
+
+        Returns the number of references applied (== the column length
+        for a correctly filtered input).
+        """
+        applied = 0
+        reconstruct_line = self.reconstruct_line
+        for set_index, tag, is_write in zip(set_indices, tags, writes):
+            if reconstruct_line(set_index, tag, is_write):
+                applied += 1
+        return applied
+
     # -- maintenance --------------------------------------------------------
 
     def reset(self) -> None:
         """Invalidate all lines and reset statistics."""
+        assoc = self.associativity
+        self.tag_store[:] = self._empty_tag_store
+        self.dirty_bits[:] = self._zero_blocks
+        self.recon_bits[:] = self._zero_blocks
+        self.recon_count[:] = self._zero_counts
+        self._tag_rows = [[-1] * assoc for _ in range(self.num_sets)]
         for set_index in range(self.num_sets):
-            for way in range(self.associativity):
-                self.tags[set_index][way] = None
-                self.dirty[set_index][way] = False
-                self.reconstructed[set_index][way] = False
-            self.order[set_index] = list(range(self.associativity))
-            self.recon_count[set_index] = 0
+            self.order[set_index] = list(range(assoc))
         self.stats.reset()
 
     def contents(self) -> set[int]:
         """Line addresses of every valid block (for state-comparison tests)."""
         lines = set()
-        for set_index in range(self.num_sets):
-            for tag in self.tags[set_index]:
-                if tag is not None:
+        for set_index, row in enumerate(self._tag_rows):
+            for tag in row:
+                if tag >= 0:
                     lines.add(self._address_of(set_index, tag))
         return lines
 
@@ -266,8 +404,12 @@ class Cache:
         lines with the same recency behave identically regardless of
         which way each line occupies.
         """
+        rows = self._tag_rows
         return tuple(
-            tuple(self.tags[set_index][way] for way in self.order[set_index])
+            tuple(
+                rows[set_index][way] if rows[set_index][way] >= 0 else None
+                for way in self.order[set_index]
+            )
             for set_index in range(self.num_sets)
         )
 
@@ -276,9 +418,17 @@ class Cache:
     def export_state(self) -> dict:
         """Deep-copy the architecturally visible state (tags, dirty bits,
         recency) into a plain dict, for checkpoint libraries."""
+        assoc = self.associativity
+        dirty_bits = self.dirty_bits
         return {
-            "tags": [list(row) for row in self.tags],
-            "dirty": [list(row) for row in self.dirty],
+            "tags": [
+                [tag if tag >= 0 else None for tag in row]
+                for row in self._tag_rows
+            ],
+            "dirty": [
+                [b == 1 for b in dirty_bits[s * assoc:(s + 1) * assoc]]
+                for s in range(self.num_sets)
+            ],
             "order": [list(row) for row in self.order],
         }
 
@@ -291,13 +441,23 @@ class Cache:
             self.num_sets and len(state["tags"][0]) != self.associativity
         ):
             raise ValueError("snapshot geometry does not match this cache")
-        self.tags = [list(row) for row in state["tags"]]
-        self.dirty = [list(row) for row in state["dirty"]]
+        assoc = self.associativity
+        tag_store = self.tag_store
+        dirty_bits = self.dirty_bits
+        for set_index, (tag_row, dirty_row) in enumerate(
+            zip(state["tags"], state["dirty"])
+        ):
+            base = set_index * assoc
+            mirror = self._tag_rows[set_index]
+            for way in range(assoc):
+                tag = tag_row[way]
+                value = -1 if tag is None else tag
+                mirror[way] = value
+                tag_store[base + way] = value
+                dirty_bits[base + way] = 1 if dirty_row[way] else 0
         self.order = [list(row) for row in state["order"]]
-        for set_index in range(self.num_sets):
-            for way in range(self.associativity):
-                self.reconstructed[set_index][way] = False
-            self.recon_count[set_index] = 0
+        self.recon_bits[:] = self._zero_blocks
+        self.recon_count[:] = self._zero_counts
 
     def __repr__(self) -> str:
         config = self.config

@@ -32,18 +32,30 @@ class MemoryHierarchy:
         self.l1_bus = Bus(self.config.l1_bus)
         self.l2_bus = Bus(self.config.l2_bus)
         self.memory_accesses = 0
+        # Per-access constants, hoisted out of the hot access paths (the
+        # write-policy enum compare costs three attribute loads per call).
+        self._l1i_wtna = self.config.l1i.write_policy is WritePolicy.WTNA
+        self._l1d_wtna = self.config.l1d.write_policy is WritePolicy.WTNA
+        self._l1i_hit_latency = self.config.l1i.hit_latency
+        self._l1d_hit_latency = self.config.l1d.hit_latency
+        self._l2_hit_latency = self.config.l2.hit_latency
+        self._l1_line_bytes = (
+            self.config.l1i.line_bytes, self.config.l1d.line_bytes
+        )
+        self._l2_line_bytes = self.config.l2.line_bytes
+        self._memory_latency = self.config.memory_latency
 
     # -- internal: one L2-and-below round trip -------------------------------
 
     def _l2_fill(self, address: int, is_write: bool, now: int) -> int:
         """Access L2 (and memory below it); return completion time."""
-        line_bytes = self.l2.config.line_bytes
+        line_bytes = self._l2_line_bytes
         result = self.l2.access(address, is_write)
-        time = now + self.l2.config.hit_latency
+        time = now + self._l2_hit_latency
         if not result.hit:
             self.memory_accesses += 1
             # Miss: fetch the line across the L2 bus from memory.
-            time += self.config.memory_latency
+            time += self._memory_latency
             time = self.l2_bus.request(time, line_bytes)
         if result.writeback_address is not None:
             # Dirty victim drains to memory; occupies the bus after our fill.
@@ -56,29 +68,37 @@ class MemoryHierarchy:
         self, address: int, is_write: bool, is_instruction: bool, now: int
     ) -> int:
         """Access the hierarchy at core-cycle `now`; return latency in cycles."""
-        l1 = self.l1i if is_instruction else self.l1d
-        line_bytes = l1.config.line_bytes
+        if is_instruction:
+            l1 = self.l1i
+            l1_wtna = self._l1i_wtna
+            hit_latency = self._l1i_hit_latency
+            line_bytes = self._l1_line_bytes[0]
+        else:
+            l1 = self.l1d
+            l1_wtna = self._l1d_wtna
+            hit_latency = self._l1d_hit_latency
+            line_bytes = self._l1_line_bytes[1]
         result = l1.access(address, is_write)
 
         if result.hit:
-            finish = now + l1.config.hit_latency
-            if is_write and l1.config.write_policy is WritePolicy.WTNA:
+            finish = now + hit_latency
+            if is_write and l1_wtna:
                 # Write-through: the word crosses the L1 bus and updates L2.
                 # The store retires at L1 speed; the write-through drains in
                 # the background but still occupies bus/L2 bandwidth.
-                drain = self.l1_bus.request(now + l1.config.hit_latency, 8)
+                drain = self.l1_bus.request(now + hit_latency, 8)
                 self._l2_fill(address, True, drain)
             return finish - now
 
-        if is_write and l1.config.write_policy is WritePolicy.WTNA:
+        if is_write and l1_wtna:
             # Write miss, no-write-allocate: forward the word to L2 only.
-            drain = self.l1_bus.request(now + l1.config.hit_latency, 8)
+            drain = self.l1_bus.request(now + hit_latency, 8)
             finish = self._l2_fill(address, True, drain)
             # The store itself completes once accepted by the bus.
             return drain - now
 
         # Read miss (or WBWA write miss): fetch line from L2 via the L1 bus.
-        request_time = self.l1_bus.request(now + l1.config.hit_latency, 8)
+        request_time = self.l1_bus.request(now + hit_latency, 8)
         fill_time = self._l2_fill(address, is_write, request_time)
         finish = self.l1_bus.request(fill_time, line_bytes)
         if result.writeback_address is not None:
@@ -97,13 +117,18 @@ class MemoryHierarchy:
         Follows the same miss/write-through paths as :meth:`timed_access`
         so warmed state matches what detailed simulation would produce.
         """
-        l1 = self.l1i if is_instruction else self.l1d
+        if is_instruction:
+            l1 = self.l1i
+            l1_wtna = self._l1i_wtna
+        else:
+            l1 = self.l1d
+            l1_wtna = self._l1d_wtna
         result = l1.access(address, is_write)
         if result.hit:
-            if is_write and l1.config.write_policy is WritePolicy.WTNA:
+            if is_write and l1_wtna:
                 self.l2.access(address, True)
             return
-        if is_write and l1.config.write_policy is WritePolicy.WTNA:
+        if is_write and l1_wtna:
             self.l2.access(address, True)
             return
         self.l2.access(address, is_write)

@@ -12,15 +12,98 @@ reverse scan across the hierarchy: data references update L1D and L2,
 instruction references update L1I and L2, and — per the paper — "for
 caches with WTNA policies, the block is allocated even if the access is a
 write", so every logged reference allocates during reconstruction.
+
+Vectorized scan
+---------------
+
+When the batch core is enabled (``REPRO_BATCH_CORE``, same switch as the
+batched functional interpreter) and the source can materialize its tail
+as arrays, the reverse scan runs as a numpy pre-filter instead of a
+per-reference Python loop.  This rests on a property of the §3.1 rules:
+whether a reverse scan *applies* a reference at a cache level depends
+only on the reference stream, never on the cache's current contents.  A
+reference wins exactly when it is (a) the first (newest) occurrence of
+its line and (b) among the first `associativity` distinct lines of its
+set — a set keeps applying lines until it holds `associativity`
+reconstructed blocks, and a repeated line always finds its block already
+reconstructed (on a hit the stale resident is promoted; on a miss the
+line is inserted; either way the block carries the reconstructed bit
+afterwards).  The winner set is therefore computable up front with
+``np.unique`` plus a per-set rank cutoff, and the winners are applied,
+newest first, through the same scalar per-set primitive — identical
+state transitions, identical statistics, a fraction of the interpreted
+work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..cache import MemoryHierarchy
+from ..functional.machine import batch_core_enabled
 from .logging import REF_INSTRUCTION, REF_STORE
 from .source import ReconstructionSource
+
+
+def _reverse_scan_winners(set_indices: np.ndarray, lines: np.ndarray,
+                          associativity: int) -> np.ndarray:
+    """Positions (ascending == newest-first) a reverse scan would apply.
+
+    `lines` and `set_indices` are parallel newest-first columns; a
+    position survives when it is the first occurrence of its line and its
+    line is among the first `associativity` distinct lines of its set.
+    """
+    _, first = np.unique(lines, return_index=True)
+    first.sort()
+    # Stable-sort the first occurrences by set: inside each set group the
+    # newest-first scan order is preserved, so the element's rank within
+    # its group is the number of distinct lines the set saw before it.
+    order = np.argsort(set_indices[first], kind="stable")
+    grouped = set_indices[first][order]
+    changed = np.empty(len(grouped), dtype=bool)
+    if len(grouped):
+        changed[0] = True
+        np.not_equal(grouped[1:], grouped[:-1], out=changed[1:])
+    starts = np.flatnonzero(changed)
+    group_of = np.cumsum(changed) - 1
+    rank = np.arange(len(grouped)) - starts[group_of]
+    winners = first[order[rank < associativity]]
+    winners.sort()
+    return winners
+
+
+def _apply_level(cache, addresses: np.ndarray,
+                 stores: np.ndarray) -> np.ndarray:
+    """Reconstruct one cache level from its newest-first reference columns.
+
+    Splits the addresses with array arithmetic, pre-filters to the
+    reverse-scan winners, bulk-inserts them through the cache's scalar
+    per-set primitive (identical state transitions and `applied`/`updates`
+    accounting), and charges the skipped remainder arithmetically —
+    exactly the count the scalar scan would have accumulated one
+    reference at a time.  Returns the winner positions.
+    """
+    num_sets = cache.num_sets
+    lines = addresses >> (cache.config.line_bytes.bit_length() - 1)
+    if num_sets & (num_sets - 1) == 0:
+        set_indices = lines & (num_sets - 1)
+    else:
+        set_indices = lines % num_sets
+    winners = _reverse_scan_winners(set_indices, lines, cache.associativity)
+    if num_sets & (num_sets - 1) == 0:
+        tags = lines[winners] >> (num_sets.bit_length() - 1)
+    else:
+        tags = lines[winners] // num_sets
+    applied = cache.reconstruct_winners(
+        set_indices[winners].tolist(), tags.tolist(),
+        stores[winners].tolist(),
+    )
+    cache.stats.reconstruction_skipped += len(addresses) - len(winners)
+    assert applied == len(winners), \
+        "reverse-scan winner filter disagreed with the per-set primitive"
+    return winners
 
 
 @dataclass
@@ -39,12 +122,16 @@ class CacheReconstructionStats:
 class ReverseCacheReconstructor:
     """Reverse-scans a skip-region memory log into a hierarchy."""
 
-    def __init__(self, hierarchy: MemoryHierarchy, telemetry=None) -> None:
+    def __init__(self, hierarchy: MemoryHierarchy, telemetry=None,
+                 batched: bool | None = None) -> None:
         self.hierarchy = hierarchy
         #: Optional telemetry session; each pass reports how many logged
         #: references it scanned, applied (blocks actually reconstructed),
         #: and skipped by the temporal-locality filter.
         self.telemetry = telemetry
+        #: Vectorized-scan switch; None resolves ``REPRO_BATCH_CORE``
+        #: (the same default as the batched functional interpreter).
+        self.batched = batch_core_enabled() if batched is None else bool(batched)
 
     def reconstruct(self, source: ReconstructionSource,
                     fraction: float = 1.0) -> CacheReconstructionStats:
@@ -71,22 +158,49 @@ class ReverseCacheReconstructor:
         stats = CacheReconstructionStats()
         scanned = 0
         applied = 0
-        l1i_reconstruct = l1i.reconstruct_reference
-        l1d_reconstruct = l1d.reconstruct_reference
-        l2_reconstruct = l2.reconstruct_reference
 
-        # "the reference stream is scanned in reverse order"
-        for address, kind in source.iter_memory_reverse(fraction):
-            scanned += 1
-            if kind == REF_INSTRUCTION:
-                touched = l1i_reconstruct(address, False)
-                touched |= l2_reconstruct(address, False)
-            else:
-                is_store = kind == REF_STORE
-                touched = l1d_reconstruct(address, is_store)
-                touched |= l2_reconstruct(address, is_store)
-            if touched:
-                applied += 1
+        arrays = source.memory_reverse_arrays(fraction) if self.batched \
+            else None
+        if arrays is not None:
+            addresses, kinds = arrays
+            scanned = len(addresses)
+            if scanned:
+                is_inst = kinds == REF_INSTRUCTION
+                is_store = kinds == REF_STORE
+                touched = np.zeros(scanned, dtype=bool)
+                inst_idx = np.flatnonzero(is_inst)
+                data_idx = np.flatnonzero(~is_inst)
+                for cache, idx in ((l1i, inst_idx), (l1d, data_idx),
+                                   (l2, None)):
+                    if idx is None:
+                        level_addresses = addresses
+                        level_stores = is_store
+                    elif len(idx):
+                        level_addresses = addresses[idx]
+                        level_stores = is_store[idx]
+                    else:
+                        continue
+                    winners = _apply_level(cache, level_addresses,
+                                           level_stores)
+                    touched[winners if idx is None else idx[winners]] = True
+                applied = int(touched.sum())
+        else:
+            l1i_reconstruct = l1i.reconstruct_reference
+            l1d_reconstruct = l1d.reconstruct_reference
+            l2_reconstruct = l2.reconstruct_reference
+
+            # "the reference stream is scanned in reverse order"
+            for address, kind in source.iter_memory_reverse(fraction):
+                scanned += 1
+                if kind == REF_INSTRUCTION:
+                    touched = l1i_reconstruct(address, False)
+                    touched |= l2_reconstruct(address, False)
+                else:
+                    is_store = kind == REF_STORE
+                    touched = l1d_reconstruct(address, is_store)
+                    touched |= l2_reconstruct(address, is_store)
+                if touched:
+                    applied += 1
 
         stats.scanned = scanned
         stats.applied = applied

@@ -52,6 +52,8 @@ from array import array
 from bisect import bisect_left
 from collections import deque
 
+import numpy as np
+
 from .logging import REF_INSTRUCTION, REF_LOAD, REF_STORE
 from .source import ReconstructionSource, tail_cutoff
 
@@ -248,6 +250,22 @@ class CompactedSkipRegionLog(ReconstructionSource):
                 break
             yield address, kind
 
+    def memory_reverse_arrays(self, fraction: float):
+        """Materialize the surviving-reference tail as (addresses, kinds).
+
+        The last-touch index keeps insertion order == last-touch order,
+        so its value sequence is ascending; the tail cutoff becomes one
+        binary search instead of a per-record early-break test.
+        """
+        cutoff = tail_cutoff(self._mem_count, fraction)
+        if not self._mem_index:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        columns = np.array(list(self._mem_index.values()), dtype=np.int64)
+        if cutoff > 0:
+            start = int(np.searchsorted(columns[:, 0], cutoff, side="left"))
+            columns = columns[start:]
+        return columns[::-1, 1], columns[::-1, 2]
+
     def recent_conditional_outcomes(self, fraction: float,
                                     limit: int) -> list:
         if limit > self._history_bits:
@@ -268,6 +286,20 @@ class CompactedSkipRegionLog(ReconstructionSource):
             if seq < cutoff:
                 break
             yield pc, target
+
+    def btb_claims_arrays(self, fraction: float):
+        """Materialize the surviving BTB-claim tail as (pcs, targets)."""
+        cutoff = tail_cutoff(self._branch_count, fraction)
+        if not self._btb_index:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        pcs = np.fromiter(self._btb_index.keys(), np.int64,
+                          len(self._btb_index))
+        values = np.array(list(self._btb_index.values()), dtype=np.int64)
+        if cutoff > 0:
+            start = int(np.searchsorted(values[:, 0], cutoff, side="left"))
+            pcs = pcs[start:]
+            values = values[start:]
+        return pcs[::-1], values[::-1, 1]
 
     def ras_tail_contents(self, fraction: float, capacity: int) -> list:
         cutoff = tail_cutoff(self._branch_count, fraction)

@@ -27,6 +27,8 @@ them.  The online-compacted sibling lives in
 
 from __future__ import annotations
 
+import numpy as np
+
 from .source import ReconstructionSource, tail_cutoff
 
 #: Memory-record reference kinds.
@@ -158,6 +160,16 @@ class SkipRegionLog(ReconstructionSource):
         for position in range(len(records) - 1, cutoff - 1, -1):
             yield records[position]
 
+    def memory_reverse_arrays(self, fraction: float):
+        """Materialize the reverse memory tail as (addresses, kinds)."""
+        records = self.memory_records
+        cutoff = tail_cutoff(len(records), fraction)
+        tail = records[cutoff:] if cutoff > 0 else records
+        if not tail:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        columns = np.array(tail, dtype=np.int64)
+        return columns[::-1, 0], columns[::-1, 1]
+
     def recent_conditional_outcomes(self, fraction: float,
                                     limit: int) -> list:
         records = self.branch_records
@@ -179,6 +191,18 @@ class SkipRegionLog(ReconstructionSource):
             if kind == BR_RET or not taken:
                 continue
             yield pc, next_pc
+
+    def btb_claims_arrays(self, fraction: float):
+        """Materialize the reverse BTB-claim tail as (pcs, targets)."""
+        records = self.branch_records
+        cutoff = tail_cutoff(len(records), fraction)
+        tail = records[cutoff:] if cutoff > 0 else records
+        if not tail:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        columns = np.array(tail, dtype=np.int64)
+        keep = (columns[:, 3] != BR_RET) & (columns[:, 2] != 0)
+        claims = columns[keep]
+        return claims[::-1, 0], claims[::-1, 1]
 
     def ras_tail_contents(self, fraction: float, capacity: int) -> list:
         from .ras_reconstruct import reconstruct_ras_contents

@@ -43,7 +43,9 @@ class ReverseStateReconstruction(WarmupMethod):
     ) -> None:
         super().__init__()
         if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
+            raise ValueError(
+                f"reconstruction fraction must be in (0, 1], got {fraction!r}"
+            )
         if not (warm_cache or warm_predictor):
             raise ValueError("at least one structure must be warmed")
         self.fraction = fraction
@@ -91,13 +93,17 @@ class ReverseStateReconstruction(WarmupMethod):
             telemetry=self.telemetry,
         )
         self.cache_stats_history = []
+        # The bound machine's batch-core switch governs the reconstructors
+        # too, so one knob selects scalar or vectorized kernels run-wide.
+        batched = getattr(context.machine, "batched", None)
         self._cache_reconstructor = ReverseCacheReconstructor(
-            context.hierarchy, telemetry=self.telemetry
+            context.hierarchy, telemetry=self.telemetry, batched=batched
         )
         self._branch_reconstructor = ReverseBranchReconstructor(
             context.predictor, table=self._table,
             infer_counters=self.infer_counters,
             telemetry=self.telemetry,
+            batched=batched,
         )
 
     # -- skip region: cold execution + logging -------------------------------

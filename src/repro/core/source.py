@@ -46,7 +46,9 @@ def tail_cutoff(count: int, fraction: float) -> int:
     the raw and compacted paths failing identically.
     """
     if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
+        raise ValueError(
+            f"reconstruction fraction must be in (0, 1], got {fraction!r}"
+        )
     keep = int(round(count * fraction))
     return count - keep
 
@@ -115,6 +117,19 @@ class ReconstructionSource:
         """
         raise NotImplementedError
 
+    def memory_reverse_arrays(self, fraction: float):
+        """Bulk form of :meth:`iter_memory_reverse`, or None.
+
+        Returns ``(addresses, kinds)`` — two parallel numpy arrays
+        (int64/uint8) holding exactly the sequence
+        :meth:`iter_memory_reverse` would yield, newest first — so the
+        vectorized reverse reconstructor can filter whole reference
+        columns at once.  The default returns None, which tells consumers
+        to fall back to the scalar iterator; sources that can materialize
+        their tail cheaply override this.
+        """
+        return None
+
     def recent_conditional_outcomes(self, fraction: float,
                                     limit: int) -> list:
         """The newest ``<= limit`` conditional-branch outcomes in the
@@ -125,6 +140,15 @@ class ReconstructionSource:
         """Yield ``(pc, target)`` BTB claims (taken, non-return transfers)
         newest-first; compacted sources may keep only each pc's newest."""
         raise NotImplementedError
+
+    def btb_claims_arrays(self, fraction: float):
+        """Bulk form of :meth:`iter_btb_claims_reverse`, or None.
+
+        Returns ``(pcs, targets)`` — parallel int64 numpy arrays holding
+        exactly the claims :meth:`iter_btb_claims_reverse` would yield,
+        newest first.  None (the default) selects the scalar iterator.
+        """
+        return None
 
     def ras_tail_contents(self, fraction: float, capacity: int) -> list:
         """Final RAS contents (top first, at most `capacity`) implied by

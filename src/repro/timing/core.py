@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..branch import BranchPredictor
 from ..cache import MemoryHierarchy
 from ..functional import FunctionalMachine
+from ..functional.predecode import predecode_program
 from ..isa import NUM_REGISTERS
 from .config import CoreConfig, paper_core_config
 from .resources import BandwidthLimiter, FifoCapacity, PooledCapacity
@@ -108,6 +109,20 @@ class TimingSimulator:
         predictor = self.predictor
         step = machine.step
 
+        # Predecoded columns replace the per-instruction attribute/method
+        # lookups (is_mem/is_control/is_load/is_store, latency,
+        # destination(), sources()) with list indexing; the Instruction
+        # object itself is only materialized for control transfers, which
+        # the branch hook and predictor interfaces take by object.
+        decoded = predecode_program(program)
+        is_mem_col = decoded.is_mem
+        is_control_col = decoded.is_control
+        is_load_col = decoded.is_load
+        is_store_col = decoded.is_store
+        latency_col = decoded.latency
+        dest_col = decoded.dest
+        sources_col = decoded.sources
+
         # The cycle counter restarts at zero each run; bus schedules from a
         # previous cluster would otherwise stall the whole pipeline.
         hierarchy.l1_bus.rewind()
@@ -141,7 +156,8 @@ class TimingSimulator:
 
         while retired < max_instructions and not machine.halted:
             pc = machine.pc
-            inst = instructions[pc]
+            is_mem = is_mem_col[pc]
+            is_control = is_control_col[pc]
 
             # ---- fetch ---------------------------------------------------
             fetch_ready = next_fetch_cycle
@@ -159,9 +175,9 @@ class TimingSimulator:
             dispatch_ready = fetch_cycle + frontend_depth
             dispatch_ready = rob.acquire(dispatch_ready)
             dispatch_ready = issue_queue.acquire(dispatch_ready)
-            if inst.is_mem:
+            if is_mem:
                 dispatch_ready = lsq.acquire(dispatch_ready)
-            if inst.is_control:
+            if is_control:
                 dispatch_ready = checkpoints.acquire(dispatch_ready)
             dispatch_cycle = dispatch_limiter.take(dispatch_ready)
 
@@ -174,7 +190,7 @@ class TimingSimulator:
 
             # ---- issue ---------------------------------------------------
             ready = dispatch_cycle + 1
-            for source in inst.sources():
+            for source in sources_col[pc]:
                 source_ready = reg_ready[source]
                 if source_ready > ready:
                     ready = source_ready
@@ -182,25 +198,28 @@ class TimingSimulator:
             issue_queue.release_at(issue_cycle)
 
             # ---- complete ------------------------------------------------
-            if inst.is_load:
+            is_store = False
+            if is_load_col[pc]:
                 latency = timed_access(
                     result.mem_address, False, False, issue_cycle
                 )
                 complete = issue_cycle + latency
-            elif inst.is_store:
+            elif is_store_col[pc]:
                 # The store leaves the pipe once address+data are ready;
                 # the write drains through the hierarchy in the background.
+                is_store = True
                 complete = issue_cycle + 1
                 timed_access(result.mem_address, True, False, complete)
             else:
-                complete = issue_cycle + inst.latency
+                complete = issue_cycle + latency_col[pc]
 
-            destination = inst.destination()
-            if destination is not None:
+            destination = dest_col[pc]
+            if destination >= 0:
                 reg_ready[destination] = complete
 
             # ---- control resolution -------------------------------------
-            if inst.is_control:
+            if is_control:
+                inst = instructions[pc]
                 if pre_branch_hook is not None:
                     pre_branch_hook(pc, inst)
                 mispredicted = predictor.predict_and_update(
@@ -222,8 +241,8 @@ class TimingSimulator:
             retire_cycle = retire_limiter.take(retire_ready)
             previous_retire = retire_cycle
             rob.release_at(retire_cycle)
-            if inst.is_mem:
-                lsq.release_at(retire_cycle if inst.is_store else complete)
+            if is_mem:
+                lsq.release_at(retire_cycle if is_store else complete)
             last_retire = retire_cycle
             if retired == measure_after:
                 ramp_boundary_cycle = retire_cycle
