@@ -29,6 +29,13 @@ audit WORKLOAD
     ambiguity) and the cold-start vs sampling split of each cluster's
     IPC error (``--source both`` additionally asserts the raw and
     compacted skip-log sources agree bit-for-bit).
+trace export SPANS
+    Convert a ``REPRO_SPANS`` JSONL file into Chrome trace-event JSON
+    (loadable in Perfetto / chrome://tracing) or normalized JSONL.
+report
+    Render a self-contained HTML run report (span timeline, audit error
+    bars, benchmark trajectory) from a spans file and optional audit /
+    trajectory JSON (see docs/observability.md).
 
 All commands accept ``--scale {ci,bench,default,full}`` (or the
 ``REPRO_EXPERIMENT_SCALE`` environment variable) to pick the experiment
@@ -296,8 +303,14 @@ def cmd_matrix(args) -> int:
     import time
 
     from .api import _RegistrySuite
-    from .harness import console_progress, format_per_workload, save_matrix
+    from .harness import (
+        LiveProgress,
+        console_progress,
+        format_per_workload,
+        save_matrix,
+    )
     from .harness.parallel import run_matrix_parallel
+    from .telemetry import SPANS_ENV_VAR
     from .warmup import paper_method_suite
     from .workloads import available_workloads
 
@@ -319,7 +332,12 @@ def cmd_matrix(args) -> int:
     cache = resolve_cache(
         None if args.cache == "auto" else args.cache, default="on"
     )
-    progress = None if args.quiet else console_progress
+    if args.quiet:
+        progress = None
+    elif args.progress:
+        progress = LiveProgress()
+    else:
+        progress = console_progress
     start = time.perf_counter()
     collect_sentinel = object()
     previous_collect = collect_sentinel
@@ -337,15 +355,16 @@ def cmd_matrix(args) -> int:
     from .sampling import resolve_cluster_jobs
     cluster_jobs = resolve_cluster_jobs(args.cluster_jobs)
     try:
-        matrix = run_matrix_parallel(
-            suite_factory,
-            workload_names=workloads,
-            scale=scale,
-            jobs=args.jobs,
-            cache=cache,
-            progress=progress,
-            cluster_jobs=cluster_jobs,
-        )
+        with _env_overrides({SPANS_ENV_VAR: args.spans}):
+            matrix = run_matrix_parallel(
+                suite_factory,
+                workload_names=workloads,
+                scale=scale,
+                jobs=args.jobs,
+                cache=cache,
+                progress=progress,
+                cluster_jobs=cluster_jobs,
+            )
     finally:
         if previous_collect is not collect_sentinel:
             from .telemetry import COLLECT_ENV_VAR
@@ -375,6 +394,9 @@ def cmd_matrix(args) -> int:
             [merged], args.trace,
             title=f"Grid telemetry ({scale.name} tier)",
         )
+    if args.spans:
+        print(f"spans written to {args.spans} "
+              f"(export with: repro trace export {args.spans})")
     if args.output:
         save_matrix(matrix, args.output)
         print(f"full grid written to {args.output}")
@@ -396,11 +418,14 @@ def cmd_profile(args) -> int:
         result = simulator.run(resolve_method(method_name))
         snapshots.append(result.extra.get("telemetry"))
     merged = merge_snapshots(snapshots)
-    print(format_telemetry_summary(
-        merged,
-        title=f"{args.workload} profile ({scale.name} tier, "
-              f"{scale.regimen().describe()})",
-    ))
+    title = (f"{args.workload} profile ({scale.name} tier, "
+             f"{scale.regimen().describe()})")
+    if merged is None or merged.is_empty():
+        # A headers-only run (empty regimen, zero clusters) has nothing
+        # to tabulate; say so readably instead of printing ragged tables.
+        print(f"{title}\n\nno clusters recorded")
+        return 0
+    print(format_telemetry_summary(merged, title=title))
     if args.trace:
         count = write_trace(merged.trace_records, args.trace)
         print(f"\n{count} trace records written to {args.trace}")
@@ -455,6 +480,79 @@ def cmd_audit(args) -> int:
     if args.json:
         save_audit(merged, args.json)
         print(f"\naudit JSON written to {args.json}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Convert a spans JSONL file for trace viewers."""
+    from .telemetry import (
+        RECORD_COUNTER,
+        RECORD_SPAN,
+        read_spans,
+        spans_to_jsonl,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    records = read_spans(args.input)
+    span_count = sum(1 for r in records if r.get("type") == RECORD_SPAN)
+    counter_count = sum(
+        1 for r in records if r.get("type") == RECORD_COUNTER
+    )
+    if span_count == 0:
+        print(f"warning: no span records in {args.input} "
+              f"(was the run executed with REPRO_SPANS set?)",
+              file=sys.stderr)
+    if args.format == "chrome":
+        output = args.output or "trace.chrome.json"
+        events = write_chrome_trace(records, output)
+        import json
+        with open(output, "r", encoding="utf-8") as stream:
+            errors = validate_chrome_trace(json.load(stream))
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"{events} trace events ({span_count} spans, "
+              f"{counter_count} counter samples) written to {output}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    else:
+        output = args.output or "trace.norm.jsonl"
+        with open(output, "w", encoding="utf-8") as stream:
+            stream.write(spans_to_jsonl(records))
+        print(f"{span_count + counter_count} normalized records "
+              f"written to {output}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the self-contained HTML run report."""
+    import json
+
+    from .harness.report import render_report
+    from .telemetry import read_spans
+
+    spans = read_spans(args.spans) if args.spans else []
+
+    def load(path, label):
+        if not path:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                return json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping {label} ({exc})", file=sys.stderr)
+            return None
+
+    html = render_report(
+        spans=spans,
+        audit=load(args.audit, "audit JSON"),
+        trajectory=load(args.trajectory, "trajectory JSON"),
+        title=args.title,
+    )
+    with open(args.output, "w", encoding="utf-8") as stream:
+        stream.write(html)
+    print(f"run report written to {args.output}")
     return 0
 
 
@@ -572,6 +670,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-cell progress lines",
     )
+    matrix_parser.add_argument(
+        "--progress", action="store_true",
+        help="live streaming progress (done/total, cells/sec, ETA) "
+             "instead of one line per cell",
+    )
+    matrix_parser.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="record hierarchical spans to a JSONL file (equivalent to "
+             "REPRO_SPANS=PATH; export with 'repro trace export')",
+    )
     _add_scale_argument(matrix_parser)
     _add_trace_argument(matrix_parser)
     _add_cluster_jobs_argument(matrix_parser)
@@ -616,6 +724,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(audit_parser)
     audit_parser.set_defaults(handler=cmd_audit)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="convert recorded spans for trace viewers "
+             "(Perfetto / chrome://tracing)",
+    )
+    trace_parser.add_argument(
+        "action", choices=("export",),
+        help="what to do with the spans file",
+    )
+    trace_parser.add_argument(
+        "input", metavar="SPANS",
+        help="spans JSONL file recorded via REPRO_SPANS or --spans",
+    )
+    trace_parser.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome: trace-event JSON for Perfetto/chrome://tracing "
+             "(default); jsonl: normalized timeline-sorted JSONL",
+    )
+    trace_parser.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: trace.chrome.json / trace.norm.jsonl)",
+    )
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render a self-contained HTML run report",
+    )
+    report_parser.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="spans JSONL file for the timeline section",
+    )
+    report_parser.add_argument(
+        "--audit", default=None, metavar="PATH",
+        help="audit JSON ('repro audit --json') for per-cluster error bars",
+    )
+    report_parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="benchmarks/TRAJECTORY.json for the benchmark table",
+    )
+    report_parser.add_argument(
+        "--title", default="repro run report",
+        help="report title",
+    )
+    report_parser.add_argument(
+        "-o", "--output", default="run-report.html",
+        help="output HTML path (default: run-report.html)",
+    )
+    report_parser.set_defaults(handler=cmd_report)
 
     reproduce_parser = subparsers.add_parser(
         "reproduce",

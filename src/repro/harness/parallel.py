@@ -26,8 +26,11 @@ list (cache and progress reporting included).
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
+import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -35,10 +38,16 @@ from typing import Callable, Iterable
 from ..sampling import SampledRunResult, SampledSimulator, SimulatorConfigs, TrueRunResult
 from ..telemetry import (
     EMPTY_SNAPSHOT,
+    EVENT_CELL,
+    SPAN_PARENT_ENV_VAR,
     TelemetrySnapshot,
     audit_enabled,
     collection_enabled,
+    emit_event,
+    events_path_from_env,
     merge_snapshots,
+    recorder_from_env,
+    spans_enabled,
 )
 from ..warmup.base import WarmupCost
 from ..workloads import PAPER_WORKLOADS, build_workload
@@ -103,6 +112,8 @@ class CellSpec:
         kind = "cell+telemetry" if collection_enabled() else "cell"
         if audit_enabled():
             kind += "+audit"
+        if spans_enabled():
+            kind += "+spans"
         if self.cluster_jobs > 1:
             kind += "+shards"
         return cache_key(kind, self.workload_name, self.scale,
@@ -149,6 +160,43 @@ def console_progress(event: CellProgress) -> None:
     print(event.describe(), flush=True)
 
 
+class LiveProgress:
+    """Streaming progress display: done/total, cells/sec, and ETA.
+
+    On a terminal the line rewrites in place (carriage return); on a
+    pipe each update is its own line, so logs stay readable.  Rate and
+    ETA count *all* finished tasks (cache hits included) against wall
+    time since construction — a warm cache legitimately reads as a very
+    fast run.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        self._start = time.perf_counter()
+        self._is_tty = bool(getattr(self._stream, "isatty", lambda: False)())
+
+    def __call__(self, event: CellProgress) -> None:
+        elapsed = max(time.perf_counter() - self._start, 1e-9)
+        rate = event.completed / elapsed
+        left = event.total - event.completed
+        eta = left / rate if rate > 0 else 0.0
+        percent = 100.0 * event.completed / max(event.total, 1)
+        label = (event.workload_name if event.kind == "true"
+                 else f"{event.workload_name} x {event.method_name}")
+        if event.cached:
+            label += " (cache)"
+        line = (f"[{event.completed}/{event.total}] {percent:3.0f}% | "
+                f"{rate:.2f} cells/s | ETA {eta:.0f}s | {label}")
+        if self._is_tty:
+            # Pad to erase a longer previous line before rewriting.
+            self._stream.write("\r" + line.ljust(78))
+            if left == 0:
+                self._stream.write("\n")
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+
 def _run_true_task(spec: TrueRunSpec) -> TrueRunResult:
     """Worker: compute one full-trace baseline."""
     return true_run_for(spec.workload_name, spec.scale, spec.configs)
@@ -184,7 +232,30 @@ def _is_picklable(obj) -> bool:
         return False
 
 
-def map_tasks(worker, tasks, jobs: int) -> list:
+@contextlib.contextmanager
+def _span_parent_env(span_context):
+    """Plant a span context in the environment for task workers.
+
+    Pool workers inherit the environment at executor creation (fork or
+    spawn both copy it), and in-process fallbacks read it live — one
+    mechanism covers both execution paths.  No-op for ``None`` (spans
+    disabled); always restores the previous value.
+    """
+    if span_context is None:
+        yield
+        return
+    previous = os.environ.get(SPAN_PARENT_ENV_VAR)
+    os.environ[SPAN_PARENT_ENV_VAR] = span_context.encode()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SPAN_PARENT_ENV_VAR, None)
+        else:
+            os.environ[SPAN_PARENT_ENV_VAR] = previous
+
+
+def map_tasks(worker, tasks, jobs: int, span_context=None) -> list:
     """Order-preserving parallel map: ``[worker(t) for t in tasks]``.
 
     The generic executor underneath the two-phase pipeline's shard
@@ -195,16 +266,22 @@ def map_tasks(worker, tasks, jobs: int) -> list:
     pickle, the caller is already inside a pool worker (daemonic
     processes cannot have children), or the platform cannot build a
     process pool at all.
+
+    `span_context` (a :class:`~repro.telemetry.SpanContext`) re-parents
+    every worker's spans under the caller's open span and onto the run's
+    clock origin; it rides the environment so the same propagation works
+    in pool workers and the in-process fallback alike.
     """
     tasks = list(tasks)
-    if jobs > 1 and len(tasks) > 1 and _is_picklable(tasks[0]):
-        import multiprocessing
+    with _span_parent_env(span_context):
+        if jobs > 1 and len(tasks) > 1 and _is_picklable(tasks[0]):
+            import multiprocessing
 
-        if not multiprocessing.current_process().daemon:
-            results = _map_pool(worker, tasks, jobs)
-            if results is not None:
-                return results
-    return [worker(task) for task in tasks]
+            if not multiprocessing.current_process().daemon:
+                results = _map_pool(worker, tasks, jobs)
+                if results is not None:
+                    return results
+        return [worker(task) for task in tasks]
 
 
 def _map_pool(worker, tasks, jobs: int):
@@ -357,12 +434,31 @@ def run_matrix_parallel(
     specs = matrix_specs(method_names, workload_names, scale, configs,
                          cluster_jobs=cluster_jobs)
 
+    # The matrix driver's own span recorder: the "matrix" span is the
+    # trace root every cell's "run" span parents under (the context
+    # rides the environment into pool workers and in-process cells
+    # alike); cache lookup/store get their own spans so a warm cache is
+    # visible on the timeline.  Null when REPRO_SPANS is off.
+    recorder = recorder_from_env()
+    events_path = events_path_from_env()
+
     results: dict = {}
     completed = 0
 
     def emit(spec, result, cached: bool) -> None:
         nonlocal completed
         completed += 1
+        emit_event(
+            events_path,
+            EVENT_CELL,
+            completed=completed,
+            total=len(specs),
+            kind=spec.kind,
+            workload=spec.workload_name,
+            method=spec.method_name,
+            cached=cached,
+            wall_seconds=0.0 if cached else result.wall_seconds,
+        )
         if progress is None:
             return
         progress(CellProgress(
@@ -376,26 +472,34 @@ def run_matrix_parallel(
             cost=getattr(result, "cost", None),
         ))
 
-    pending = []
-    for spec in specs:
-        if cache is not None:
-            hit = cache.get(spec.key())
-            if hit is not None:
-                results[spec] = hit
-                emit(spec, hit, cached=True)
-                continue
-        pending.append(spec)
+    with recorder.span("matrix", cells=len(specs), jobs=jobs,
+                       cluster_jobs=cluster_jobs):
+        pending = []
+        with recorder.span("cache_lookup", cat="cache"):
+            for spec in specs:
+                if cache is not None:
+                    hit = cache.get(spec.key())
+                    if hit is not None:
+                        results[spec] = hit
+                        emit(spec, hit, cached=True)
+                        continue
+                pending.append(spec)
 
-    if pending:
-        use_pool = jobs > 1 and _is_picklable(method_factory)
-        ran_in_pool = use_pool and _execute_pool(
-            pending, method_factory, results, emit, jobs
-        )
-        if not ran_in_pool:
-            _execute_serial(pending, method_factory, results, emit)
-        if cache is not None:
-            for spec in pending:
-                cache.put(spec.key(), results[spec])
+        if pending:
+            with _span_parent_env(recorder.context()
+                                  if recorder.enabled else None):
+                use_pool = jobs > 1 and _is_picklable(method_factory)
+                ran_in_pool = use_pool and _execute_pool(
+                    pending, method_factory, results, emit, jobs
+                )
+                if not ran_in_pool:
+                    _execute_serial(pending, method_factory, results, emit)
+            if cache is not None:
+                with recorder.span("cache_store", cat="cache",
+                                   entries=len(pending)):
+                    for spec in pending:
+                        cache.put(spec.key(), results[spec])
+    recorder.flush()
 
     grid: dict[str, WorkloadExperiment] = {}
     for workload_name in workload_names:

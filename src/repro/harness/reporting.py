@@ -220,6 +220,10 @@ def format_telemetry_summary(snapshot: TelemetrySnapshot,
             method_rows,
             title="Trace-record totals per method",
         ))
+    else:
+        # A headers-only run (zero cluster records) would otherwise end
+        # on a silently missing table; say what happened instead.
+        sections.append("no clusters recorded")
 
     return "\n\n".join(sections)
 

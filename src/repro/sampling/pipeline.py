@@ -45,11 +45,14 @@ from dataclasses import dataclass, field
 
 from ..functional import FunctionalCheckpoint
 from ..telemetry import (
+    EVENT_RUN_END,
+    EVENT_RUN_START,
     PHASE_COLD_SKIP,
     PHASE_HOT_SIM,
     PHASE_RECONSTRUCT,
     TelemetrySnapshot,
     audit_enabled,
+    emit_event,
     merge_snapshots,
     telemetry_from_env,
 )
@@ -182,7 +185,15 @@ def run_serial(simulator, method) -> SampledRunResult:
     stack = build_simulation(simulator.workload, configs)
     machine = stack.machine
     timing = stack.timing
-    with telemetry.phase("prefix"):
+    emit_event(telemetry.events_path, EVENT_RUN_START,
+               workload=simulator.workload.name, method=method.name,
+               strategy="serial")
+    run_span = telemetry.span(
+        "run", workload=simulator.workload.name, method=method.name,
+        strategy="serial",
+    )
+    run_span.__enter__()
+    with telemetry.span("prefix", cat="phase"), telemetry.phase("prefix"):
         stack.warm_prefix(simulator.warmup_prefix)
     context = SimulationContext(
         machine=machine,
@@ -219,20 +230,27 @@ def run_serial(simulator, method) -> SampledRunResult:
         if traced:
             telemetry.begin_cluster()
             cost_before = cost.as_dict()
-        with telemetry.phase(PHASE_COLD_SKIP):
+        cluster_span = telemetry.span(f"cluster {index}", cluster=index)
+        cluster_span.__enter__()
+        with telemetry.span(PHASE_COLD_SKIP, cat="phase"), \
+                telemetry.phase(PHASE_COLD_SKIP):
             if gap > 0:
                 method.skip(gap)
         position = cluster_start - ramp
-        with telemetry.phase(PHASE_RECONSTRUCT):
+        with telemetry.span(PHASE_RECONSTRUCT, cat="phase"), \
+                telemetry.phase(PHASE_RECONSTRUCT):
             hook = method.pre_cluster()
         if audit is not None:
-            audit.before_cluster(index, method)
-        with telemetry.phase(PHASE_HOT_SIM):
+            with telemetry.span("audit", cat="phase"):
+                audit.before_cluster(index, method)
+        with telemetry.span(PHASE_HOT_SIM, cat="phase"), \
+                telemetry.phase(PHASE_HOT_SIM):
             result = timing.run(
                 cluster_size + ramp, pre_branch_hook=hook,
                 measure_after=ramp,
             )
-        with telemetry.phase(PHASE_RECONSTRUCT):
+        with telemetry.span(PHASE_RECONSTRUCT, cat="phase"), \
+                telemetry.phase(PHASE_RECONSTRUCT):
             method.post_cluster()
         # The hot cluster fetched instruction blocks outside machine.run,
         # so the ifetch-continuity marker no longer names the last block
@@ -245,7 +263,8 @@ def run_serial(simulator, method) -> SampledRunResult:
         if audit is not None:
             # Emitted before end_cluster so the audit record sorts
             # (stably) ahead of its cluster record after any merge.
-            audit.after_cluster(index, method, result.ipc)
+            with telemetry.span("audit", cat="phase"):
+                audit.after_cluster(index, method, result.ipc)
         if traced:
             cost_now = cost.as_dict()
             deltas = {
@@ -267,7 +286,9 @@ def run_serial(simulator, method) -> SampledRunResult:
                                  + deltas["predictor_updates"]),
                 **deltas,
             })
+        cluster_span.__exit__(None, None, None)
 
+    run_span.__exit__(None, None, None)
     wall_seconds = time.perf_counter() - start_time
     extra = {"harmonic_mean_ipc": _harmonic_mean(cluster_ipcs),
              "warmup_prefix": simulator.warmup_prefix}
@@ -276,6 +297,11 @@ def run_serial(simulator, method) -> SampledRunResult:
         telemetry.set_gauge("run.clusters", len(cluster_ipcs))
         extra["telemetry"] = telemetry.snapshot()
         telemetry.flush_trace()
+        telemetry.flush_spans()
+    emit_event(telemetry.events_path, EVENT_RUN_END,
+               workload=simulator.workload.name, method=method.name,
+               strategy="serial", clusters=len(cluster_ipcs),
+               wall_seconds=wall_seconds)
     return SampledRunResult(
         workload_name=simulator.workload.name,
         method_name=method.name,
@@ -305,7 +331,15 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     traced = telemetry.enabled
     stack = build_simulation(simulator.workload, configs)
     machine = stack.machine
-    with telemetry.phase("prefix"):
+    emit_event(telemetry.events_path, EVENT_RUN_START,
+               workload=simulator.workload.name, method=method.name,
+               strategy="sharded", cluster_jobs=jobs)
+    run_span = telemetry.span(
+        "run", workload=simulator.workload.name, method=method.name,
+        strategy="sharded", cluster_jobs=jobs,
+    )
+    run_span.__enter__()
+    with telemetry.span("prefix", cat="phase"), telemetry.phase("prefix"):
         stack.warm_prefix(simulator.warmup_prefix)
     # The clone template is pickled before bind, while the method holds
     # configuration only; every shard worker unpickles a private copy
@@ -350,13 +384,17 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     start_time = time.perf_counter()
 
     # -- Phase A: serial cold scan, one ClusterShard per cluster ----------
+    phase_a_span = telemetry.span("phase_a", cat="phase")
+    phase_a_span.__enter__()
     shards: list[ClusterShard] = []
     position = 0
     for index, cluster_start in enumerate(simulator.regimen.cluster_starts()):
         ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
         functional_before = cost.functional_instructions
         records_before = cost.log_records
-        with telemetry.phase(PHASE_COLD_SKIP):
+        with telemetry.span(f"cluster {index}", cluster=index), \
+                telemetry.span(PHASE_COLD_SKIP, cat="phase"), \
+                telemetry.phase(PHASE_COLD_SKIP):
             if gap > 0:
                 method.skip(gap)
             position = cluster_start - ramp
@@ -385,6 +423,7 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
             audit_slice=(audit_slices.get(index)
                          if audit_slices is not None else None),
         ))
+    phase_a_span.__exit__(None, None, None)
 
     # -- Phase B: hot shards in parallel ----------------------------------
     tasks = [
@@ -400,7 +439,12 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     # Lazy: harness.parallel imports the sampling package at top level.
     from ..harness.parallel import map_tasks
 
-    results = map_tasks(run_shard, tasks, jobs)
+    # Workers re-parent their cluster spans under phase_b: the context
+    # (parent id + run clock origin) travels via the environment and is
+    # captured while the phase_b span is open.
+    with telemetry.span("phase_b", cat="phase"):
+        results = map_tasks(run_shard, tasks, jobs,
+                            span_context=telemetry.spans.context())
 
     # -- fold, in cluster order -------------------------------------------
     cluster_ipcs: list[float] = []
@@ -421,6 +465,7 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
         if result.snapshot is not None:
             worker_snapshots.append(result.snapshot)
 
+    run_span.__exit__(None, None, None)
     wall_seconds = time.perf_counter() - start_time
     extra = {
         "harmonic_mean_ipc": _harmonic_mean(cluster_ipcs),
@@ -430,21 +475,30 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     }
     if traced:
         # Worker trace records flow through the parent session (so a
-        # REPRO_TRACE file contains every cluster exactly once) ...
+        # REPRO_TRACE file contains every cluster exactly once), and
+        # worker spans are adopted into the parent recorder — already
+        # parented under phase_b and stamped on the run timeline ...
         for snapshot in worker_snapshots:
             for record in snapshot.trace_records:
                 telemetry.emit(record)
+            telemetry.spans.adopt(snapshot.spans)
         telemetry.set_gauge("run.wall_seconds", wall_seconds)
         telemetry.set_gauge("run.clusters", len(cluster_ipcs))
         telemetry.set_gauge("run.cluster_jobs", jobs)
         # ... while their counters/histograms/phase timers merge into
-        # the run snapshot, records-stripped to avoid double counting.
+        # the run snapshot, records-stripped (trace *and* spans, both
+        # re-emitted above) to avoid double counting.
         merged = merge_snapshots(
             [telemetry.snapshot()]
             + [_without_records(s) for s in worker_snapshots]
         )
         extra["telemetry"] = merged
         telemetry.flush_trace()
+        telemetry.flush_spans()
+    emit_event(telemetry.events_path, EVENT_RUN_END,
+               workload=simulator.workload.name, method=method.name,
+               strategy="sharded", clusters=len(cluster_ipcs),
+               wall_seconds=wall_seconds)
     return SampledRunResult(
         workload_name=simulator.workload.name,
         method_name=method.name,
@@ -490,21 +544,32 @@ def run_shard(task: ShardTask) -> ShardResult:
     cost = method.cost
     if traced:
         telemetry.begin_cluster()
-    with telemetry.phase(PHASE_RECONSTRUCT):
+    # The worker's root span: its parent (the run's phase_b span) and
+    # the run clock origin arrive via the propagated span context, so
+    # this subtree lands directly inside the run's trace at fold time.
+    cluster_span = telemetry.span(f"cluster {shard.index}",
+                                  cluster=shard.index)
+    cluster_span.__enter__()
+    with telemetry.span(PHASE_RECONSTRUCT, cat="phase"), \
+            telemetry.phase(PHASE_RECONSTRUCT):
         hook = method.pre_cluster()
     if audit is not None:
-        audit.before_cluster(shard.index, method)
-    with telemetry.phase(PHASE_HOT_SIM):
+        with telemetry.span("audit", cat="phase"):
+            audit.before_cluster(shard.index, method)
+    with telemetry.span(PHASE_HOT_SIM, cat="phase"), \
+            telemetry.phase(PHASE_HOT_SIM):
         result = stack.timing.run(
             task.regimen.cluster_size + shard.ramp,
             pre_branch_hook=hook,
             measure_after=shard.ramp,
         )
-    with telemetry.phase(PHASE_RECONSTRUCT):
+    with telemetry.span(PHASE_RECONSTRUCT, cat="phase"), \
+            telemetry.phase(PHASE_RECONSTRUCT):
         method.post_cluster()
     cost.hot_instructions += result.instructions
     if audit is not None:
-        audit.after_cluster(shard.index, method, result.ipc)
+        with telemetry.span("audit", cat="phase"):
+            audit.after_cluster(shard.index, method, result.ipc)
     if traced:
         # The record shows the cluster's full per-phase cost: the
         # worker's own (reconstruction, hot) plus the gap's cold-scan
@@ -527,6 +592,7 @@ def run_shard(task: ShardTask) -> ShardResult:
                              + deltas["predictor_updates"]),
             **deltas,
         })
+    cluster_span.__exit__(None, None, None)
     return ShardResult(
         index=shard.index,
         ipc=result.ipc,
@@ -554,11 +620,13 @@ def _harmonic_mean(cluster_ipcs: list[float]) -> float:
 
 
 def _without_records(snapshot: TelemetrySnapshot) -> TelemetrySnapshot:
-    """A copy of `snapshot` minus trace records (already re-emitted)."""
+    """A copy of `snapshot` minus trace/span records (already re-emitted
+    through the parent session and its span recorder)."""
     return TelemetrySnapshot(
         counters=snapshot.counters,
         gauges=snapshot.gauges,
         histograms=snapshot.histograms,
         phase_seconds=snapshot.phase_seconds,
         trace_records=[],
+        spans=[],
     )

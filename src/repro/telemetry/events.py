@@ -1,0 +1,68 @@
+"""Live progress event firehose (``REPRO_EVENTS`` JSONL).
+
+Unlike trace/span records — buffered per session and written in one
+batch at flush — events are appended **line-by-line as they happen**:
+the whole point is that an external consumer (a dashboard, the future
+distributed-executor service, or plain ``tail -f``) can watch a run
+while it is still going.  Each append is a single ``write`` of one
+complete line, so concurrent writer processes interleave whole events,
+never fragments.
+
+Event kinds currently emitted:
+
+- ``run_start`` / ``run_end`` — one sampled run (workload × method);
+- ``cluster`` — one cluster boundary (from ``Telemetry.end_cluster``),
+  carrying cluster index, wall seconds, and phase seconds;
+- ``cell`` — one matrix-cell completion (from the matrix progress hook),
+  carrying completed/total counts so a consumer can compute rate/ETA.
+
+Timestamps are wall-clock seconds (``time.time()``): the firehose is a
+cross-run observation stream, not a reconciled intra-run timeline — the
+span subsystem owns that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+#: Environment variable naming the events JSONL file.  Setting it turns
+#: on per-event append writes everywhere (sessions and matrix driver).
+EVENTS_ENV_VAR = "REPRO_EVENTS"
+
+EVENT_RUN_START = "run_start"
+EVENT_RUN_END = "run_end"
+EVENT_CLUSTER = "cluster"
+EVENT_CELL = "cell"
+
+
+def events_path_from_env() -> str | None:
+    """The ``REPRO_EVENTS`` path, or None when the firehose is off."""
+    path = os.environ.get(EVENTS_ENV_VAR, "").strip()
+    return path or None
+
+
+def emit_event(path: str | None, event: str, **fields) -> None:
+    """Append one event line immediately (no-op without a path).
+
+    A failed append (full disk, revoked path) is swallowed: the firehose
+    is an observation channel and must never take the run down.
+    """
+    if path is None:
+        return
+    record = {"event": event, "t": time.time(), "pid": os.getpid()}
+    record.update(fields)
+    line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+    try:
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(line)
+    except OSError:
+        pass
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse an events JSONL file (tolerant of a truncated final line)."""
+    from .trace import read_trace
+
+    return read_trace(path)

@@ -26,8 +26,15 @@ from __future__ import annotations
 
 import time
 
+from .events import EVENT_CLUSTER, emit_event, events_path_from_env
 from .registry import MetricsRegistry, NULL_REGISTRY
 from .snapshot import TelemetrySnapshot
+from .spans import (
+    NULL_SPANS,
+    _NULL_SPAN,
+    recorder_from_env,
+    rss_high_water_kb,
+)
 from .trace import (
     RECORD_CLUSTER,
     append_trace,
@@ -90,9 +97,13 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, trace_path: str | None = None) -> None:
+    def __init__(self, trace_path: str | None = None, spans=None) -> None:
         self.registry = MetricsRegistry()
         self.trace_path = trace_path
+        #: Span backend — resolved from ``REPRO_SPANS`` unless an
+        #: explicit recorder (or the null one) is injected.
+        self.spans = spans if spans is not None else recorder_from_env()
+        self.events_path = events_path_from_env()
         self.phase_seconds: dict[str, float] = {}
         self.trace_records: list[dict] = []
         self._flushed = 0
@@ -115,6 +126,36 @@ class Telemetry:
 
     def phase(self, name: str) -> _PhaseTimer:
         return _PhaseTimer(self, name)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "repro", **args):
+        """Open a hierarchical span (no-op when spans are disabled)."""
+        return self.spans.span(name, cat=cat, **args)
+
+    def sample_span_counters(self) -> None:
+        """Emit counter-track samples at a span boundary.
+
+        Samples the skip-log and reconstruction totals plus the
+        process's RSS high-water (and tracemalloc peak, when tracing is
+        already on) so the Perfetto export grows stepped counter tracks
+        alongside the span lanes.  Skipped entirely when spans are off.
+        """
+        recorder = self.spans
+        if not recorder.enabled:
+            return
+        values = self.registry.counter_values()
+        for name in ("log.stored_records", METRIC_BLOCKS_RECONSTRUCTED):
+            if name in values:
+                recorder.counter(name, values[name])
+        rss = rss_high_water_kb()
+        if rss is not None:
+            recorder.counter("process.rss_high_water_kb", rss)
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            recorder.counter("process.tracemalloc_peak_bytes", peak)
 
     def _add_phase(self, name: str, seconds: float) -> None:
         self.phase_seconds[name] = (
@@ -168,6 +209,16 @@ class Telemetry:
             record["counters"] = deltas
         self._in_cluster = False
         self.trace_records.append(record)
+        self.sample_span_counters()
+        if self.events_path is not None:
+            emit_event(
+                self.events_path,
+                EVENT_CLUSTER,
+                workload=record.get("workload"),
+                method=record.get("method"),
+                cluster=record.get("cluster"),
+                wall_seconds=record.get("wall_seconds"),
+            )
         return record
 
     def emit(self, record: dict) -> None:
@@ -185,6 +236,7 @@ class Telemetry:
             histograms=registry.histogram_summaries(),
             phase_seconds=dict(self.phase_seconds),
             trace_records=list(self.trace_records),
+            spans=self.spans.export(),
         )
 
     def flush_trace(self) -> int:
@@ -200,6 +252,10 @@ class Telemetry:
         self._flushed += written
         return written
 
+    def flush_spans(self) -> int:
+        """Flush the span recorder's pending records to its JSONL path."""
+        return self.spans.flush()
+
 
 class NullTelemetry:
     """The disabled backend: accepts the full session API as no-ops."""
@@ -209,6 +265,8 @@ class NullTelemetry:
     registry = NULL_REGISTRY
     phase_seconds: dict = {}
     trace_records: list = []
+    spans = NULL_SPANS
+    events_path = None
 
     __slots__ = ()
 
@@ -224,6 +282,12 @@ class NullTelemetry:
     def phase(self, name: str) -> _NullPhaseTimer:
         return _NULL_PHASE
 
+    def span(self, name: str, cat: str = "repro", **args):
+        return _NULL_SPAN
+
+    def sample_span_counters(self) -> None:
+        pass
+
     def begin_cluster(self) -> None:
         pass
 
@@ -237,6 +301,9 @@ class NullTelemetry:
         return None
 
     def flush_trace(self) -> int:
+        return 0
+
+    def flush_spans(self) -> int:
         return 0
 
 

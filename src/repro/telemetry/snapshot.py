@@ -14,7 +14,10 @@ their streaming summaries; gauges add (every gauge the stack sets is a
 per-run quantity — wall seconds, cluster counts — whose sum is the
 run-level total); trace records concatenate and are re-sorted into the
 deterministic (workload, method, cluster) order so the merged profile
-does not depend on worker completion order.
+does not depend on worker completion order.  Span records concatenate
+and re-sort on the reconciled run timeline (ts, pid, tid, id), which is
+equally completion-order independent: ids are stamped per process and
+timestamps are run-origin relative.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ class TelemetrySnapshot:
     histograms: dict[str, HistogramSummary] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
     trace_records: list[dict] = field(default_factory=list)
+    spans: list[dict] = field(default_factory=list)
 
     def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
         """Combine two snapshots (see module docstring for semantics)."""
@@ -52,12 +56,14 @@ class TelemetrySnapshot:
         records = sorted(
             self.trace_records + other.trace_records, key=_record_order
         )
+        spans = sorted(self.spans + other.spans, key=_span_order)
         return TelemetrySnapshot(
             counters=counters,
             gauges=gauges,
             histograms=histograms,
             phase_seconds=phases,
             trace_records=records,
+            spans=spans,
         )
 
     def is_empty(self) -> bool:
@@ -68,6 +74,7 @@ class TelemetrySnapshot:
             or self.histograms
             or self.phase_seconds
             or self.trace_records
+            or self.spans
         )
 
     def __bool__(self) -> bool:
@@ -88,6 +95,7 @@ class TelemetrySnapshot:
             },
             "phase_seconds": dict(self.phase_seconds),
             "trace_records": list(self.trace_records),
+            "spans": list(self.spans),
         }
 
 
@@ -96,6 +104,15 @@ def _record_order(record: dict) -> tuple:
         record.get("workload", ""),
         record.get("method", ""),
         record.get("cluster", -1),
+    )
+
+
+def _span_order(record: dict) -> tuple:
+    return (
+        record.get("ts", 0),
+        record.get("pid", 0),
+        record.get("tid", 0),
+        record.get("id", ""),
     )
 
 

@@ -1,0 +1,238 @@
+"""Span export: Chrome trace-event JSON (Perfetto) and normalized JSONL.
+
+The Chrome trace-event format is the lowest-common-denominator timeline
+interchange: ``chrome://tracing`` and https://ui.perfetto.dev both load
+it directly.  We emit:
+
+- ``"M"`` metadata events naming each process/thread lane
+  (``process_name`` / ``thread_name``), so worker processes render as
+  labelled tracks instead of bare pids;
+- ``"X"`` complete events — one per span, with ``ts``/``dur`` in
+  microseconds (the format's unit) converted from the recorder's
+  nanosecond timeline;
+- ``"C"`` counter events — one per sampled counter value (skip-log
+  stored records, blocks reconstructed, RSS high-water), which Perfetto
+  renders as stepped counter tracks.
+
+`validate_chrome_trace` checks an export against
+:data:`CHROME_TRACE_SCHEMA` — a deliberately small JSON-Schema subset
+(type / required / properties / items / enum / additionalProperties)
+interpreted by a stdlib validator here, so CI needs no third-party
+schema package.  The same schema dict is checked in at
+``docs/schemas/chrome-trace.schema.json`` (a test asserts the two stay
+equal).  `check_lane_nesting` adds the semantic check no schema can
+express: within one (pid, tid) lane, spans must be properly nested or
+disjoint — overlap means the clock reconciliation or the stack
+discipline broke.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .spans import RECORD_COUNTER, RECORD_SPAN
+
+#: JSON-Schema (subset) for the Chrome trace export.  Kept in sync with
+#: docs/schemas/chrome-trace.schema.json by a test.
+CHROME_TRACE_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro Chrome trace export",
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "ph": {"type": "string", "enum": ["X", "C", "M"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+    },
+    "additionalProperties": False,
+}
+
+_NS_PER_US = 1000.0
+
+
+def _lane_metadata(records) -> list[dict]:
+    """``"M"`` events naming every (pid, tid) lane seen in `records`."""
+    pids: dict[int, None] = {}
+    lanes: dict[tuple, None] = {}
+    root_pid = None
+    for record in records:
+        pid, tid = record["pid"], record["tid"]
+        if root_pid is None and record.get("type") == RECORD_SPAN:
+            root_pid = pid
+        pids.setdefault(pid, None)
+        lanes.setdefault((pid, tid), None)
+    events = []
+    for pid in pids:
+        role = "repro" if pid == root_pid else "repro worker"
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"{role} (pid {pid})"},
+        })
+    for pid, tid in lanes:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": f"tid {tid}"},
+        })
+    return events
+
+
+def to_chrome_trace(records) -> dict:
+    """Convert span/counter records into a Chrome trace-event payload."""
+    records = list(records)
+    events = _lane_metadata(records)
+    for record in records:
+        kind = record.get("type")
+        if kind == RECORD_SPAN:
+            event = {
+                "ph": "X",
+                "name": record["name"],
+                "cat": record.get("cat", "repro"),
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "ts": record["ts"] / _NS_PER_US,
+                "dur": record["dur"] / _NS_PER_US,
+            }
+            args = dict(record.get("args") or {})
+            args["span_id"] = record["id"]
+            if record.get("parent"):
+                args["parent_span_id"] = record["parent"]
+            event["args"] = args
+            events.append(event)
+        elif kind == RECORD_COUNTER:
+            events.append({
+                "ph": "C",
+                "name": record["name"],
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "ts": record["ts"] / _NS_PER_US,
+                "args": {"value": record["value"]},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records, path: str) -> int:
+    """Write the Chrome trace JSON for `records`; returns event count."""
+    payload = to_chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return len(payload["traceEvents"])
+
+
+def spans_to_jsonl(records) -> str:
+    """Normalized JSONL of span/counter records, timeline-sorted."""
+    from .trace import format_trace_lines
+
+    ordered = sorted(
+        (r for r in records
+         if r.get("type") in (RECORD_SPAN, RECORD_COUNTER)),
+        key=lambda r: (r["ts"], r["pid"], r["tid"], r.get("id", "")),
+    )
+    return format_trace_lines(ordered)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def _validate_node(value, schema: dict, path: str, errors: list) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        checkers = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "integer": lambda v: (isinstance(v, int)
+                                  and not isinstance(v, bool)),
+            "number": lambda v: (isinstance(v, (int, float))
+                                 and not isinstance(v, bool)),
+            "boolean": lambda v: isinstance(v, bool),
+        }
+        if not checkers[expected](value):
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                _validate_node(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate_node(item, schema["items"],
+                           f"{path}[{index}]", errors)
+
+
+def validate_chrome_trace(payload) -> list[str]:
+    """Schema + semantic errors for a Chrome trace payload (empty = valid).
+
+    Beyond the schema: ``"X"`` events must carry non-negative ``ts`` and
+    ``dur``, and counters must carry a numeric ``args.value``.
+    """
+    errors: list[str] = []
+    _validate_node(payload, CHROME_TRACE_SCHEMA, "$", errors)
+    if errors:
+        return errors
+    for index, event in enumerate(payload["traceEvents"]):
+        where = f"$.traceEvents[{index}]"
+        if event["ph"] == "X":
+            if "ts" not in event or "dur" not in event:
+                errors.append(f"{where}: X event missing ts/dur")
+            elif event["ts"] < 0 or event["dur"] < 0:
+                errors.append(f"{where}: negative ts/dur")
+        elif event["ph"] == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}: counter without numeric args.value")
+    return errors
+
+
+def check_lane_nesting(payload) -> list[str]:
+    """Per-lane overlap errors: spans in one (pid, tid) lane must be
+    properly nested or disjoint (empty list = well-formed timeline)."""
+    lanes: dict[tuple, list] = {}
+    for event in payload["traceEvents"]:
+        if event["ph"] == "X":
+            lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    errors = []
+    for lane, events in sorted(lanes.items()):
+        events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        # Stack of end-times of currently-open enclosing spans.
+        open_ends: list[float] = []
+        for event in events:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while open_ends and open_ends[-1] <= start:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1]:
+                errors.append(
+                    f"lane pid={lane[0]} tid={lane[1]}: span "
+                    f"{event['name']!r} [{start}, {end}] straddles its "
+                    f"enclosing span's end {open_ends[-1]}"
+                )
+            open_ends.append(end)
+    return errors

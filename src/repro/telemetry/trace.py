@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 
 #: Environment variable naming the JSON-lines trace file.  Setting it
 #: enables telemetry collection and appends each run's records to the
@@ -80,13 +81,30 @@ def write_trace(records, path: str) -> int:
 
 
 def read_trace(path: str) -> list[dict]:
-    """Parse a JSON-lines trace file back into record dicts."""
-    records = []
+    """Parse a JSON-lines trace file back into record dicts.
+
+    Tolerant of a truncated *final* line — a run killed mid-append
+    leaves a partial last record, which is skipped with a warning on
+    stderr rather than poisoning the whole file.  Malformed lines
+    anywhere else still raise: those indicate corruption, not a crash.
+    """
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [(number, line.strip())
+                 for number, line in enumerate(stream, start=1)
+                 if line.strip()]
+    records = []
+    for position, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                print(
+                    f"repro: warning: skipping truncated final record "
+                    f"at {path}:{number} (interrupted run?)",
+                    file=sys.stderr,
+                )
+                break
+            raise
     return records
 
 
@@ -107,8 +125,14 @@ def collection_enabled() -> bool:
 
     The audit switch counts: audit records are trace records, so
     ``REPRO_AUDIT`` alone is enough to collect snapshots in memory.
+    So does the span switch: span records ride telemetry snapshots
+    across process boundaries, which needs live sessions everywhere.
     """
     if trace_path_from_env() is not None:
         return True
     flag = os.environ.get(COLLECT_ENV_VAR, "").strip().lower()
-    return flag not in _OFF_VALUES or audit_enabled()
+    if flag not in _OFF_VALUES or audit_enabled():
+        return True
+    from .spans import spans_enabled
+
+    return spans_enabled()

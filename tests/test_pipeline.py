@@ -169,7 +169,7 @@ class TestShardedEquivalence:
         """The fold cross-checks each shard against the cold scan."""
         from repro.sampling.pipeline import run_shard
 
-        def tampering_map(worker, tasks, jobs):
+        def tampering_map(worker, tasks, jobs, **kwargs):
             results = [run_shard(task) for task in tasks]
             results[0] = dataclasses.replace(
                 results[0], instructions=results[0].instructions + 1)
