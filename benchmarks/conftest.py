@@ -19,7 +19,7 @@ import pathlib
 
 import pytest
 
-from repro.harness import resolve_cache, run_matrix_parallel, scale_from_env
+from repro.harness import execute_matrix, resolve_cache, scale_from_env
 from repro.warmup import paper_method_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -45,7 +45,7 @@ def get_full_matrix():
     scale = bench_scale()
     if scale.name not in _MATRICES:
         jobs = int(os.environ.get("REPRO_MATRIX_JOBS", "1"))
-        _MATRICES[scale.name] = run_matrix_parallel(
+        _MATRICES[scale.name] = execute_matrix(
             paper_method_suite,
             scale=scale,
             jobs=jobs,

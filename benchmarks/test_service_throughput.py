@@ -1,0 +1,185 @@
+"""Perf bench: service job throughput, cache-hit speedup, and
+backend equivalence.
+
+Three claims are asserted here and recorded into ``BENCH_pr8.json`` at
+the repo root for the trajectory gate:
+
+- **The service adds bookkeeping, not simulation.**  A job submitted
+  over HTTP produces the byte-identical payload of an inline
+  :func:`repro.api.execute_request` call; throughput (jobs/sec) is
+  recorded for trend-watching (machine-dependent, never gated).
+- **Repeats are near-free.**  Resubmitting the same requests is served
+  from the content-addressed result cache without re-entering
+  execution — asserted via the service counters (``executed`` stays
+  put, ``cache_hits`` rises) — and the per-job wall speedup is gated.
+- **Backends are interchangeable.**  The same matrix request run
+  through every registered executor backend yields one identical
+  payload (deterministic fold), recorded as a never-flip boolean.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import emit
+from repro.api import RunRequest, execute_request
+from repro.harness import format_table
+from repro.harness.executor import registered_executor_names
+from repro.harness.options import RunOptions
+from repro.service import ServiceClient, SimulationService
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
+WORKLOADS = ("gcc", "mcf")
+METHODS = ("R$BP (20%)",)
+MIN_CACHE_HIT_SPEEDUP = 2.0
+#: The gated speedup metric saturates here: real runs land far above
+#: it (hundreds), so recording the clamped value keeps the trajectory
+#: gate's 15%-slack comparison deterministic across machines while the
+#: raw number stays in the timing block.
+CACHE_HIT_SPEEDUP_CAP = 10.0
+
+
+def _requests(scale):
+    return [
+        RunRequest(kind="sample", workloads=(name,), methods=METHODS,
+                   design=scale.name)
+        for name in WORKLOADS
+    ]
+
+
+def test_service_throughput(benchmark, scale, tmp_path):
+    requests = _requests(scale)
+
+    # Inline baseline: the exact payloads the service must reproduce.
+    start = time.perf_counter()
+    inline = [execute_request(request, cache="off")
+              for request in requests]
+    inline_seconds = time.perf_counter() - start
+
+    cache_dir = tmp_path / "service-cache"
+    service = SimulationService(
+        options=RunOptions(scale=scale.name),
+        executor="threads",
+        cache=str(cache_dir),
+        port=0,
+    )
+    with service:
+        client = ServiceClient(service.url)
+
+        # Cold pass: every job executes for real.
+        start = time.perf_counter()
+        job_ids = [client.submit(request) for request in requests]
+        fresh = [client.result(job_id) for job_id in job_ids]
+        fresh_seconds = time.perf_counter() - start
+
+        service_matches_inline = all(
+            remote.payload == local.payload
+            for remote, local in zip(fresh, inline)
+        )
+        assert service_matches_inline, \
+            "service payloads diverged from inline execution"
+        assert not any(result.cached for result in fresh)
+
+        # Warm pass: same requests, served from the result cache.
+        start = time.perf_counter()
+        job_ids = [client.submit(request) for request in requests]
+        cached = [client.result(job_id) for job_id in job_ids]
+        cached_seconds = time.perf_counter() - start
+
+        assert all(result.cached for result in cached)
+        cache_hits_identical = all(
+            hit.payload == cold.payload
+            for hit, cold in zip(cached, fresh)
+        )
+        assert cache_hits_identical
+        counters = client.stats()["counters"]
+
+    # The counters prove the warm pass never re-entered execution.
+    assert counters["executed"] == len(requests)
+    assert counters["cache_hits"] == len(requests)
+    assert counters["jobs_completed"] == 2 * len(requests)
+
+    cache_hit_speedup = fresh_seconds / max(cached_seconds, 1e-9)
+    assert cache_hit_speedup >= MIN_CACHE_HIT_SPEEDUP, (
+        f"cache-hit pass only {cache_hit_speedup:.1f}x faster than the "
+        f"cold pass (expected >= {MIN_CACHE_HIT_SPEEDUP:.0f}x)"
+    )
+
+    # Backend equivalence: one matrix request, every registered backend,
+    # one payload.
+    matrix_request = RunRequest(
+        kind="matrix", workloads=WORKLOADS, methods=("rsr", "smarts"),
+        design=scale.name, jobs=2,
+    )
+    payloads = {}
+    backend_seconds = {}
+    for name in registered_executor_names():
+        start = time.perf_counter()
+        result = execute_request(matrix_request, executor=name,
+                                 cache="off")
+        backend_seconds[name] = time.perf_counter() - start
+        payloads[name] = json.dumps(result.payload, sort_keys=True)
+    backends_bit_identical = len(set(payloads.values())) == 1
+    assert backends_bit_identical, (
+        "matrix payloads diverged across backends: "
+        f"{sorted(payloads)}"
+    )
+
+    payload = {
+        "bench": "service_throughput",
+        "scale": scale.name,
+        "workloads": list(WORKLOADS),
+        "backends": registered_executor_names(),
+        # Booleans are never-flip guarantees; the cache-hit speedup is
+        # asserted >= MIN_CACHE_HIT_SPEEDUP above on both the baseline
+        # and every future run.  Raw throughput is machine-dependent and
+        # lands in the informational timing block only.
+        "summary": {
+            "service_matches_inline": service_matches_inline,
+            "cache_hits_identical": cache_hits_identical,
+            "backends_bit_identical": backends_bit_identical,
+            "cache_hit_wall_speedup": min(cache_hit_speedup,
+                                          CACHE_HIT_SPEEDUP_CAP),
+        },
+        "timing": {
+            "cache_hit_wall_speedup_raw": cache_hit_speedup,
+            "inline_seconds": inline_seconds,
+            "service_fresh_seconds": fresh_seconds,
+            "service_cached_seconds": cached_seconds,
+            "service_jobs_per_second_fresh":
+                len(requests) / max(fresh_seconds, 1e-9),
+            "service_jobs_per_second_cached":
+                len(requests) / max(cached_seconds, 1e-9),
+            "matrix_backend_seconds": backend_seconds,
+        },
+        "counters": counters,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+    rows = [
+        ["inline", f"{inline_seconds:.2f}s", "-", "-"],
+        ["service (fresh)", f"{fresh_seconds:.2f}s",
+         f"{len(requests) / max(fresh_seconds, 1e-9):.2f}",
+         "payloads == inline"],
+        ["service (cached)", f"{cached_seconds:.2f}s",
+         f"{len(requests) / max(cached_seconds, 1e-9):.2f}",
+         f"{cache_hit_speedup:.1f}x vs fresh, 0 re-executions"],
+    ] + [
+        [f"matrix via {name}", f"{seconds:.2f}s", "-",
+         "bit-identical" if backends_bit_identical else "DIVERGED"]
+        for name, seconds in sorted(backend_seconds.items())
+    ]
+
+    def render():
+        return format_table(
+            ["path", "wall", "jobs/sec", "equivalence"], rows,
+            title=f"Service throughput ({scale.name} tier): "
+                  f"{len(requests)} jobs, cache-hit speedup "
+                  f"{cache_hit_speedup:.1f}x",
+        )
+
+    text = benchmark.pedantic(render, rounds=3, iterations=1)
+    emit("service_throughput", text)

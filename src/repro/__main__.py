@@ -29,6 +29,16 @@ audit WORKLOAD
     ambiguity) and the cold-start vs sampling split of each cluster's
     IPC error (``--source both`` additionally asserts the raw and
     compacted skip-log sources agree bit-for-bit).
+executors
+    List the registered executor fan-out backends (``--executor`` /
+    ``REPRO_EXECUTOR`` select one for ``matrix`` and ``serve``).
+serve
+    Start the long-running simulation service: a JSON HTTP API
+    accepting sample/matrix/audit jobs, with per-tenant quotas and
+    result-cache read-through (see docs/parallel-execution.md).
+submit KIND
+    Submit a job to a running service and (by default) wait for the
+    result.
 trace export SPANS
     Convert a ``REPRO_SPANS`` JSONL file into Chrome trace-event JSON
     (loadable in Perfetto / chrome://tracing) or normalized JSONL.
@@ -56,7 +66,7 @@ import sys
 from .harness import (
     SCALES,
     format_table,
-    resolve_cache,
+    options_from_env,
     scale_from_env,
     true_run_for,
 )
@@ -95,10 +105,36 @@ def _add_cluster_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", default=None, metavar="NAME",
+        help="fan-out backend (see 'repro executors'; default: "
+             "REPRO_EXECUTOR or 'pool')",
+    )
+
+
 def _resolve_scale(args):
+    # main() builds the validated RunOptions once (flags folded in);
+    # handlers invoked directly in tests fall back to flag/env reads.
+    options = getattr(args, "options", None)
+    if options is not None:
+        return options.scale_obj()
     if args.scale:
         return SCALES[args.scale]
     return scale_from_env()
+
+
+def _options_for(args):
+    """The entry-point RunOptions (or a freshly validated fallback)."""
+    options = getattr(args, "options", None)
+    if options is not None:
+        return options
+    return options_from_env(
+        scale=getattr(args, "scale", None),
+        matrix_jobs=getattr(args, "jobs", None),
+        cluster_jobs=getattr(args, "cluster_jobs", None),
+        executor=getattr(args, "executor", None),
+    )
 
 
 def _simulator(workload, scale, telemetry=None, cluster_jobs=None):
@@ -306,15 +342,16 @@ def cmd_matrix(args) -> int:
     from .harness import (
         LiveProgress,
         console_progress,
+        execute_matrix,
         format_per_workload,
         save_matrix,
     )
-    from .harness.parallel import run_matrix_parallel
     from .telemetry import SPANS_ENV_VAR
     from .warmup import paper_method_suite
     from .workloads import available_workloads
 
-    scale = _resolve_scale(args)
+    options = _options_for(args)
+    scale = options.scale_obj()
     workloads = tuple(args.workload) if args.workload else available_workloads()
     if args.method:
         # Registry names are validated here, before any worker process
@@ -329,7 +366,7 @@ def cmd_matrix(args) -> int:
     else:
         suite_factory = paper_method_suite
         display_names = paper_method_names()
-    cache = resolve_cache(
+    cache = options.cache(
         None if args.cache == "auto" else args.cache, default="on"
     )
     if args.quiet:
@@ -352,18 +389,18 @@ def cmd_matrix(args) -> int:
     # Resolved in the parent (explicit flag, else REPRO_CLUSTER_JOBS) so
     # the value lands in every CellSpec — and hence the cache keys —
     # before any worker launches; a bad value exits 2 below.
-    from .sampling import resolve_cluster_jobs
-    cluster_jobs = resolve_cluster_jobs(args.cluster_jobs)
+    cluster_jobs = options.resolved_cluster_jobs()
     try:
         with _env_overrides({SPANS_ENV_VAR: args.spans}):
-            matrix = run_matrix_parallel(
+            matrix = execute_matrix(
                 suite_factory,
                 workload_names=workloads,
                 scale=scale,
-                jobs=args.jobs,
+                jobs=options.matrix_jobs,
                 cache=cache,
                 progress=progress,
                 cluster_jobs=cluster_jobs,
+                executor=options.executor,
             )
     finally:
         if previous_collect is not collect_sentinel:
@@ -382,7 +419,7 @@ def cmd_matrix(args) -> int:
         matrix, display_names, value="ci",
         title="95% confidence tests",
     ))
-    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    jobs = options.resolved_matrix_jobs()
     summary = f"\ngrid completed in {elapsed:.1f}s ({jobs} jobs"
     if cache is not None:
         summary += f"; cache at {cache.root}: {cache.stats}"
@@ -578,6 +615,111 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_executors(_args) -> int:
+    """List the registered executor fan-out backends."""
+    from .harness import (
+        DEFAULT_EXECUTOR,
+        EXECUTOR_ENV_VAR,
+        describe_executors,
+    )
+
+    rows = [[name, cls, desc] for name, cls, desc in describe_executors()]
+    print(format_table(
+        ["name", "class", "description"], rows,
+        title=f"Registered executor backends (default: {DEFAULT_EXECUTOR}; "
+              f"select with --executor or {EXECUTOR_ENV_VAR})",
+    ))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running simulation service until interrupted."""
+    import time
+
+    from .service import SimulationService
+
+    options = _options_for(args)
+    service = SimulationService(
+        options=options,
+        executor=options.executor,
+        cache=None if args.cache == "auto" else args.cache,
+        max_pending_per_tenant=args.quota,
+        host=args.host,
+        port=args.port,
+    )
+    service.start()
+    print(f"simulation service listening on {service.url}")
+    print(f"executor: {service.executor or 'default (pool)'}; "
+          f"scale: {options.scale}; "
+          f"quota: {args.quota} pending job(s) per tenant")
+    print(f"submit with: repro submit --url {service.url} sample "
+          f"--workload gcc")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running service; wait unless --no-wait."""
+    import json
+    import urllib.error
+
+    from .api import RunRequest
+    from .service import ServiceClient, ServiceError
+
+    request = RunRequest(
+        kind=args.kind,
+        workloads=tuple(args.workload or ()),
+        methods=tuple(args.method or ()),
+        design=args.scale,
+        cluster_jobs=(args.cluster_jobs
+                      if args.cluster_jobs is not None else 1),
+        jobs=args.jobs,
+        source=args.source,
+    )
+    client = ServiceClient(args.url, timeout=min(args.timeout, 60.0))
+    try:
+        job_id = client.submit(request, tenant=args.tenant)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach service at {args.url} ({exc}); "
+              f"is 'repro serve' running?", file=sys.stderr)
+        return 1
+    print(f"submitted {job_id} ({request.kind}, design {request.design}) "
+          f"to {args.url}")
+    if args.no_wait:
+        print(f"poll with: GET {args.url}/results/{job_id}")
+        return 0
+    try:
+        result = client.result(job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    origin = "cache" if result.cached else "fresh run"
+    if request.kind == "audit":
+        size = f"{len(result.payload['reports'])} report(s)"
+    else:
+        size = f"{len(result.payload['rows'])} row(s)"
+    print(f"{job_id} done: {size} from {origin} "
+          f"in {result.wall_seconds:.2f}s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(result.to_payload(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"result JSON written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -683,7 +825,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(matrix_parser)
     _add_trace_argument(matrix_parser)
     _add_cluster_jobs_argument(matrix_parser)
+    _add_executor_argument(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
+
+    subparsers.add_parser(
+        "executors", help="list registered executor fan-out backends",
+    ).set_defaults(handler=cmd_executors)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-running simulation service",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default: 8642; 0 = any free port)",
+    )
+    serve_parser.add_argument(
+        "--quota", type=int, default=4, metavar="N",
+        help="max pending jobs per tenant before 429 (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--cache", default="auto",
+        help="result cache: 'auto' (REPRO_RESULT_CACHE), 'off', 'on', "
+             "or a cache directory path",
+    )
+    _add_scale_argument(serve_parser)
+    _add_executor_argument(serve_parser)
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a job to a running simulation service",
+    )
+    submit_parser.add_argument(
+        "kind", choices=("sample", "matrix", "audit"),
+        help="what to run: per-workload sampled rows, the full grid, "
+             "or an accuracy audit",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+    submit_parser.add_argument(
+        "--workload", action="append", choices=available_workloads(),
+        default=None,
+        help="workload to include (repeatable; default: all nine)",
+    )
+    submit_parser.add_argument(
+        "--method", action="append", default=None,
+        help="registered method name or alias (repeatable; default: "
+             "the kind's standard suite)",
+    )
+    submit_parser.add_argument(
+        "--source", choices=("auto", "raw", "compacted"), default="auto",
+        help="skip-log source for audit jobs",
+    )
+    submit_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="matrix-cell workers on the service side",
+    )
+    submit_parser.add_argument(
+        "--tenant", default="default",
+        help="quota tenant to submit as (default: 'default')",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for the result (default: 300)",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and print the job id without polling for the result",
+    )
+    submit_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the full result JSON to PATH",
+    )
+    _add_scale_argument(submit_parser)
+    _add_cluster_jobs_argument(submit_parser)
+    submit_parser.set_defaults(handler=cmd_submit)
 
     profile_parser = subparsers.add_parser(
         "profile",
@@ -794,6 +1015,16 @@ def main(argv=None) -> int:
     if args.command == "sample" and args.method is None:
         args.method = ["S$BP", "R$BP (20%)"]
     try:
+        # One validated RunOptions per invocation: every REPRO_* read
+        # (and the flags that override them) funnels through here, so a
+        # bad value fails now with a readable exit-2 diagnostic instead
+        # of deep inside a worker process.
+        args.options = options_from_env(
+            scale=getattr(args, "scale", None),
+            matrix_jobs=getattr(args, "jobs", None),
+            cluster_jobs=getattr(args, "cluster_jobs", None),
+            executor=getattr(args, "executor", None),
+        )
         return args.handler(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

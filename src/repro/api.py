@@ -1,6 +1,6 @@
 """Stable high-level facade for sampled-simulation experiments.
 
-Two calls cover the common workflows:
+Three levels of entry cover the common workflows:
 
 - :func:`simulate` — one workload, one warm-up method, one sampled run::
 
@@ -9,11 +9,21 @@ Two calls cover the common workflows:
       print(result.estimate.mean)
 
 - :func:`run_matrix` — a methods-by-workloads grid with the parallel
-  harness (process fan-out, optional on-disk result cache)::
+  harness (executor fan-out, optional on-disk result cache)::
 
       from repro.api import run_matrix
       grid = run_matrix(methods=["S$BP", "R$BP (100%)"],
                         workloads=["gcc", "twolf"], design="ci")
+
+- :class:`RunRequest` / :func:`submit` / :func:`gather` — declarative
+  experiment requests with JSON-able, content-addressed results; the
+  same objects the long-running simulation service
+  (:mod:`repro.service`) accepts over HTTP::
+
+      from repro.api import RunRequest, gather, submit
+      handles = [submit(RunRequest(kind="sample", workloads=("gcc",))),
+                 submit(RunRequest(kind="matrix", methods=("rsr",)))]
+      results = gather(handles, executor="pool")
 
 Methods are named: anything registered in the warm-up registry resolves,
 including the case-insensitive aliases ``"rsr"`` (R$BP at 100%) and
@@ -24,19 +34,25 @@ regimen and microarchitecture: a scale preset name (``"ci"``,
 :class:`~repro.harness.ExperimentScale`, a bare
 :class:`~repro.sampling.SamplingRegimen` (paper-default
 microarchitecture, no warm-up prefix), or ``None`` for the
-``REPRO_EXPERIMENT_SCALE`` environment default.
+``REPRO_EXPERIMENT_SCALE`` environment default.  ``RunRequest.design``
+is restricted to preset names so requests stay JSON-serialisable.
 """
 
 from __future__ import annotations
 
-from .harness.cache import resolve_cache
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+
+from .harness.cache import ResultCache, code_version, resolve_cache
 from .harness.experiment import (
     ExperimentScale,
     SCALES,
     scale_from_env,
     true_run_for,
 )
-from .harness.parallel import run_matrix_parallel
+from .harness.parallel import execute_matrix, map_tasks
 from .sampling import SampledRunResult, SampledSimulator, SamplingRegimen
 from .warmup import WarmupMethod, method_factory, resolve_method
 from .workloads import PAPER_WORKLOADS, Workload, build_workload
@@ -127,7 +143,8 @@ def true_run(workload_name: str, design=None, *, configs=None):
 
 
 def run_matrix(methods=None, workloads=PAPER_WORKLOADS, design=None, *,
-               configs=None, jobs=None, cache=None, progress=None):
+               configs=None, jobs=None, cache=None, progress=None,
+               cluster_jobs=1, executor=None):
     """Run a methods-by-workloads grid through the parallel harness.
 
     `methods` is a list of registry names (``None`` means the full
@@ -135,7 +152,10 @@ def run_matrix(methods=None, workloads=PAPER_WORKLOADS, design=None, *,
     worker process launches.  `design` must resolve to an
     :class:`~repro.harness.ExperimentScale`.  `cache` accepts a
     :class:`~repro.harness.ResultCache`, a directory path, or ``None``
-    (the ``REPRO_RESULT_CACHE`` environment default).  Returns
+    (the ``REPRO_RESULT_CACHE`` environment default).  `executor` names
+    a registered fan-out backend (see ``repro executors``) or passes an
+    :class:`~repro.harness.Executor` instance; ``None`` defers to
+    ``REPRO_EXECUTOR`` / the default process pool.  Returns
     ``{workload_name: WorkloadExperiment}``.
     """
     design = _resolve_design(design)
@@ -148,7 +168,7 @@ def run_matrix(methods=None, workloads=PAPER_WORKLOADS, design=None, *,
         factory = paper_method_suite
     else:
         factory = _RegistrySuite(tuple(methods))
-    return run_matrix_parallel(
+    return execute_matrix(
         factory,
         tuple(workloads),
         scale=design,
@@ -156,4 +176,349 @@ def run_matrix(methods=None, workloads=PAPER_WORKLOADS, design=None, *,
         jobs=jobs,
         cache=resolve_cache(cache),
         progress=progress,
+        cluster_jobs=cluster_jobs,
+        executor=executor,
     )
+
+
+# ---------------------------------------------------------------------------
+# Declarative requests: the JSON-able surface shared by submit()/gather()
+# and the simulation service.
+# ---------------------------------------------------------------------------
+
+_REQUEST_KINDS = ("sample", "matrix", "audit")
+_AUDIT_SOURCES = ("auto", "raw", "compacted")
+
+#: matrix_rows() columns whose values depend on wall-clock timing, not
+#: on the simulated machine.  Request payloads are content-addressed
+#: (identical request -> identical payload, byte for byte, across
+#: backends and cache hits), so timing lives on RunResult.wall_seconds
+#: instead of inside the payload.
+_TIMING_COLUMNS = frozenset({
+    "wall_seconds", "cold_skip_seconds", "reconstruct_seconds",
+    "hot_sim_seconds", "trace_records",
+})
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One declarative, JSON-serialisable experiment request.
+
+    `kind` selects the workflow: ``"sample"`` (per-workload sampled
+    runs, one row per method), ``"matrix"`` (the methods-by-workloads
+    grid), or ``"audit"`` (accuracy-audit probes, JSON report per
+    workload).  `design` is a scale preset *name* (``None`` resolves
+    the ``REPRO_EXPERIMENT_SCALE`` default at construction, so the
+    request — and its fingerprint — is always concrete).  Empty
+    `methods` means the kind's default suite; empty `workloads` means
+    the paper's nine.  `source` pins the audit skip-log source.
+    """
+
+    kind: str = "sample"
+    workloads: tuple = ()
+    methods: tuple = ()
+    design: "str | None" = None
+    cluster_jobs: int = 1
+    jobs: "int | None" = None
+    source: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; "
+                f"known: {', '.join(_REQUEST_KINDS)}")
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        if self.design is None:
+            object.__setattr__(self, "design", scale_from_env().name)
+        if self.design not in SCALES:
+            known = ", ".join(sorted(SCALES))
+            raise ValueError(
+                f"unknown design {self.design!r}; known: {known}")
+        from .workloads import available_workloads
+
+        known_workloads = available_workloads()
+        for name in self.workloads:
+            if name not in known_workloads:
+                raise ValueError(
+                    f"unknown workload {name!r}; "
+                    f"known: {', '.join(known_workloads)}")
+        for name in self.methods:
+            method_factory(name)  # readable registry ValueError
+        if not isinstance(self.cluster_jobs, int) or self.cluster_jobs < 0:
+            raise ValueError(
+                f"cluster_jobs must be an integer >= 0, "
+                f"got {self.cluster_jobs!r}")
+        if self.jobs is not None and (
+                not isinstance(self.jobs, int) or self.jobs < 0):
+            raise ValueError(
+                f"jobs must be an integer >= 0 or None, got {self.jobs!r}")
+        if self.source not in _AUDIT_SOURCES:
+            raise ValueError(
+                f"unknown audit source {self.source!r}; "
+                f"known: {', '.join(_AUDIT_SOURCES)}")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A plain-JSON rendering (the service's wire format)."""
+        return {
+            "kind": self.kind,
+            "workloads": list(self.workloads),
+            "methods": list(self.methods),
+            "design": self.design,
+            "cluster_jobs": self.cluster_jobs,
+            "jobs": self.jobs,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunRequest":
+        """The inverse of :meth:`to_payload`, with readable errors."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"request payload must be a JSON object, "
+                f"got {type(payload).__name__}")
+        known = {"kind", "workloads", "methods", "design",
+                 "cluster_jobs", "jobs", "source"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**{name: payload[name] for name in known
+                      if name in payload})
+
+    def fingerprint(self) -> str:
+        """Content hash of the request plus the code version.
+
+        Two requests share a fingerprint exactly when they are
+        guaranteed to produce byte-identical payloads, which makes the
+        fingerprint a safe :class:`~repro.harness.ResultCache` key.
+        Execution knobs that cannot change results (`jobs`,
+        `cluster_jobs` — sharded folds are bit-identical to serial)
+        are excluded.
+        """
+        identity = self.to_payload()
+        identity.pop("jobs")
+        identity.pop("cluster_jobs")
+        identity["code"] = code_version()
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def cache_key(self) -> str:
+        return f"request-{self.fingerprint()}"
+
+    def resolved_workloads(self) -> tuple:
+        return self.workloads or tuple(PAPER_WORKLOADS)
+
+    def resolved_methods(self) -> tuple:
+        """The concrete method-name suite for this request's kind."""
+        if self.methods:
+            return self.methods
+        if self.kind == "matrix":
+            from .warmup import paper_method_names
+
+            return tuple(paper_method_names())
+        return ("S$BP", "R$BP (100%)")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one :class:`RunRequest`.
+
+    `payload` is plain JSON data whose shape depends on the request
+    kind (see :func:`execute_request`); it is deterministic for a given
+    request and code version, so `cached` results compare equal to
+    freshly computed ones.  `wall_seconds` measures this call (near
+    zero for cache hits).
+    """
+
+    request: RunRequest
+    payload: dict
+    cached: bool = False
+    wall_seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "request": self.request.to_payload(),
+            "payload": self.payload,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _sample_rows(request: RunRequest) -> list[dict]:
+    rows = []
+    for workload_name in request.resolved_workloads():
+        true_run = true_run_for(workload_name, SCALES[request.design])
+        for method_name in request.resolved_methods():
+            run = simulate(
+                workload_name, method=method_name, design=request.design,
+            )
+            rows.append({
+                "workload": workload_name,
+                "method": run.method_name,
+                "true_ipc": true_run.ipc,
+                "estimated_ipc": run.estimate.mean,
+                "std_error": run.estimate.std_error,
+                "ci_halfwidth": run.estimate.error_bound,
+                "relative_error": run.relative_error(true_run.ipc),
+                "ci_pass": run.passes_confidence_test(true_run.ipc),
+                "cluster_ipcs": list(run.cluster_ipcs),
+                "cost": run.cost.as_dict(),
+            })
+    return rows
+
+
+def _matrix_rows(request: RunRequest, *, executor=None,
+                 cache=None, progress=None) -> list[dict]:
+    from .harness.export import matrix_rows
+
+    grid = run_matrix(
+        methods=request.methods or None,
+        workloads=request.resolved_workloads(),
+        design=request.design,
+        jobs=request.jobs,
+        cache=cache if cache is not None else "off",
+        progress=progress,
+        cluster_jobs=request.cluster_jobs,
+        executor=executor,
+    )
+    rows = []
+    for row in matrix_rows(grid):
+        rows.append({key: value for key, value in row.items()
+                     if key not in _TIMING_COLUMNS})
+    return rows
+
+
+def _audit_reports(request: RunRequest) -> dict:
+    import os
+
+    from .harness.export import audit_to_json
+    from .telemetry import Telemetry, merge_snapshots
+
+    overrides = {"REPRO_AUDIT": "1"}
+    if request.source != "auto":
+        overrides["REPRO_LOG_COMPACTION"] = request.source
+    saved = {name: os.environ.get(name) for name in overrides}
+    reports = {}
+    try:
+        os.environ.update(overrides)
+        for workload_name in request.resolved_workloads():
+            snapshots = []
+            for method_name in request.resolved_methods():
+                run = simulate(workload_name, method=method_name,
+                               design=request.design, telemetry=Telemetry)
+                snapshots.append(run.extra.get("telemetry"))
+            merged = merge_snapshots(snapshots)
+            reports[workload_name] = json.loads(audit_to_json(merged))
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return reports
+
+
+def execute_request(request: RunRequest, *, executor=None,
+                    cache=None, progress=None) -> RunResult:
+    """Execute one :class:`RunRequest` and return its :class:`RunResult`.
+
+    This is the single execution path shared by :func:`gather` and the
+    simulation service.  `cache` (a :class:`~repro.harness.ResultCache`,
+    a directory path, or ``None`` for the ``REPRO_RESULT_CACHE``
+    default) is read through first: a hit returns the stored payload
+    without re-running anything — in particular without re-entering
+    Phase B — and a miss stores the fresh payload under the request's
+    content-addressed :meth:`~RunRequest.cache_key`.
+    """
+    start = time.perf_counter()
+    cache = resolve_cache(cache)
+    key = request.cache_key()
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return RunResult(request=request, payload=hit, cached=True,
+                             wall_seconds=time.perf_counter() - start)
+    if request.kind == "sample":
+        payload = {"kind": "sample", "design": request.design,
+                   "rows": _sample_rows(request)}
+    elif request.kind == "matrix":
+        payload = {"kind": "matrix", "design": request.design,
+                   "rows": _matrix_rows(request, executor=executor,
+                                        cache=cache, progress=progress)}
+    else:
+        payload = {"kind": "audit", "design": request.design,
+                   "source": request.source,
+                   "reports": _audit_reports(request)}
+    if cache is not None:
+        cache.put(key, payload)
+    return RunResult(request=request, payload=payload, cached=False,
+                     wall_seconds=time.perf_counter() - start)
+
+
+@dataclass
+class RunHandle:
+    """A submitted request awaiting :func:`gather` (or lazy execution)."""
+
+    request: RunRequest
+    cache_setting: "str | None" = None
+    _result: "RunResult | None" = field(default=None, repr=False)
+
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self, *, executor=None) -> RunResult:
+        """The request's result, executing inline on first access."""
+        if self._result is None:
+            self._result = execute_request(
+                self.request, executor=executor,
+                cache=self.cache_setting,
+            )
+        return self._result
+
+
+def submit(request: RunRequest, *, cache=None) -> RunHandle:
+    """Record a request for a later :func:`gather` fan-out.
+
+    `cache` accepts a :class:`~repro.harness.ResultCache` (its root
+    directory is forwarded to workers), a directory path, ``"off"``, or
+    ``None`` for the environment default.
+    """
+    if isinstance(cache, ResultCache):
+        cache = str(cache.root)
+    return RunHandle(request=request, cache_setting=cache)
+
+
+def _gather_task(task) -> RunResult:
+    """Module-level worker for :func:`gather` (must pickle)."""
+    payload, cache_setting = task
+    return execute_request(RunRequest.from_payload(payload),
+                           cache=cache_setting)
+
+
+def gather(handles, *, executor=None, jobs=None) -> list[RunResult]:
+    """Execute submitted handles through an executor backend.
+
+    Results come back in submission order regardless of completion
+    order (the executor protocol's deterministic-fold guarantee).
+    Handles that already have results keep them; only pending requests
+    fan out.  `executor` is a backend name, an
+    :class:`~repro.harness.Executor` instance, or ``None`` for the
+    ``REPRO_EXECUTOR`` / default resolution.
+    """
+    handles = list(handles)
+    pending = [i for i, handle in enumerate(handles) if not handle.done()]
+    if pending:
+        tasks = [
+            (handles[i].request.to_payload(), handles[i].cache_setting)
+            for i in pending
+        ]
+        if jobs is None:
+            jobs = len(tasks)
+        results = map_tasks(_gather_task, tasks, jobs, executor=executor)
+        for i, result in zip(pending, results):
+            handles[i]._result = result
+    return [handle.result() for handle in handles]

@@ -4,11 +4,14 @@ The evaluation grid behind every figure and table is a (workload x
 method) matrix whose cells are mutually independent: each sampled run
 builds its own machine, hierarchy, and predictor, and the regimen seed —
 not execution order — determines cluster placement.  This module fans
-those cells out over a :class:`concurrent.futures.ProcessPoolExecutor`
-as small picklable task specs and deterministically reassembles the same
+those cells out as small picklable task specs through the pluggable
+:class:`~.executor.Executor` protocol (``inprocess``, ``threads``,
+``pool``, ``subprocess-queue``; see :mod:`~.executor`) and
+deterministically reassembles the same
 :class:`~.experiment.WorkloadExperiment` grids the serial
 :func:`~.experiment.run_matrix` produces: same regimen seed, same
-cluster IPCs, bit-identical estimates.
+cluster IPCs, bit-identical estimates — whichever backend ran the
+cells.
 
 Two task kinds exist per grid:
 
@@ -28,10 +31,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-import pickle
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -52,6 +54,7 @@ from ..telemetry import (
 from ..warmup.base import WarmupCost
 from ..workloads import PAPER_WORKLOADS, build_workload
 from .cache import ResultCache, cache_key
+from .executor import Executor, resolve_executor
 from .experiment import (
     ExperimentScale,
     MethodOutcome,
@@ -224,12 +227,26 @@ def _run_cell_task(spec: CellSpec, method_factory) -> SampledRunResult:
     return simulator.run(method)
 
 
-def _is_picklable(obj) -> bool:
-    try:
-        pickle.dumps(obj)
-        return True
-    except Exception:
-        return False
+@dataclass(frozen=True)
+class _MatrixTask:
+    """One grid task plus the factory that rebuilds its method suite.
+
+    Bundling the factory into the task (instead of partial-applying it
+    into the worker) keeps the executor contract uniform — a
+    module-level worker function and a list of picklable tasks — so the
+    pickling probe inside process-based backends covers the factory
+    automatically.
+    """
+
+    spec: object
+    method_factory: object
+
+
+def _run_matrix_task(task: _MatrixTask):
+    """Worker: one grid task (true-run or cell), any backend."""
+    if task.spec.kind == "true":
+        return _run_true_task(task.spec)
+    return _run_cell_task(task.spec, task.method_factory)
 
 
 @contextlib.contextmanager
@@ -255,92 +272,41 @@ def _span_parent_env(span_context):
             os.environ[SPAN_PARENT_ENV_VAR] = previous
 
 
-def map_tasks(worker, tasks, jobs: int, span_context=None) -> list:
+def map_tasks(worker, tasks, jobs: int, span_context=None,
+              executor: "str | Executor | None" = None) -> list:
     """Order-preserving parallel map: ``[worker(t) for t in tasks]``.
 
-    The generic executor underneath the two-phase pipeline's shard
-    fan-out (and any future fixed-task-list parallelism).  Fans `tasks`
-    out over up to `jobs` worker processes and returns results in task
-    order.  Degrades to in-process execution of the same list — with
-    identical results — when `jobs` <= 1, the first task does not
-    pickle, the caller is already inside a pool worker (daemonic
-    processes cannot have children), or the platform cannot build a
-    process pool at all.
+    The generic fan-out underneath the two-phase pipeline's shard
+    dispatch (and any future fixed-task-list parallelism), routed
+    through the :class:`~.executor.Executor` protocol.  `executor`
+    names a registered backend or passes a ready instance; ``None``
+    resolves ``REPRO_EXECUTOR`` and falls back to the historical
+    ``pool`` behavior, whose in-process degradations (``jobs <= 1``,
+    unpicklable work, daemonic caller, pool-less platform) are
+    preserved bit for bit.  Whatever the backend, results come back in
+    task order, so folds stay deterministic.
 
     `span_context` (a :class:`~repro.telemetry.SpanContext`) re-parents
     every worker's spans under the caller's open span and onto the run's
     clock origin; it rides the environment so the same propagation works
-    in pool workers and the in-process fallback alike.
+    in subprocess workers and in-process fallbacks alike.
+
+    An interrupted or crashing fan-out closes the backend with
+    ``cancel=True`` — pending work is abandoned and live worker
+    processes are terminated, never orphaned.
     """
     tasks = list(tasks)
+    owned = not isinstance(executor, Executor)
+    backend = resolve_executor(executor, jobs=jobs)
     with _span_parent_env(span_context):
-        if jobs > 1 and len(tasks) > 1 and _is_picklable(tasks[0]):
-            import multiprocessing
-
-            if not multiprocessing.current_process().daemon:
-                results = _map_pool(worker, tasks, jobs)
-                if results is not None:
-                    return results
-        return [worker(task) for task in tasks]
-
-
-def _map_pool(worker, tasks, jobs: int):
-    """Pool-backed map; None when the pool cannot run the tasks.
-
-    Any pool-side failure — creation, submission, a broken worker —
-    falls back to the in-process path; a genuine exception raised by
-    `worker` itself re-raises identically there.
-    """
-    try:
-        executor = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
-    except (NotImplementedError, OSError, PermissionError, ValueError):
-        return None
-    try:
-        futures = [executor.submit(worker, task) for task in tasks]
-        return [future.result() for future in futures]
-    except Exception:
-        return None
-    finally:
-        executor.shutdown()
-
-
-def _execute_serial(pending, method_factory, results, emit):
-    """In-process execution of `pending` specs (the fallback path)."""
-    for spec in pending:
-        if spec.kind == "true":
-            result = _run_true_task(spec)
-        else:
-            result = _run_cell_task(spec, method_factory)
-        results[spec] = result
-        emit(spec, result, cached=False)
-
-
-def _execute_pool(pending, method_factory, results, emit, jobs) -> bool:
-    """Fan `pending` out over a process pool; False if no pool exists."""
-    try:
-        executor = ProcessPoolExecutor(max_workers=jobs)
-    except (NotImplementedError, OSError, PermissionError, ValueError):
-        return False
-    try:
-        futures = {}
-        for spec in pending:
-            if spec.kind == "true":
-                future = executor.submit(_run_true_task, spec)
-            else:
-                future = executor.submit(_run_cell_task, spec,
-                                         method_factory)
-            futures[future] = spec
-        remaining = set(futures)
-        while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            for future in done:
-                spec = futures[future]
-                result = future.result()
-                results[spec] = result
-                emit(spec, result, cached=False)
-    finally:
-        executor.shutdown()
-    return True
+        try:
+            return backend.map(worker, tasks)
+        except BaseException:
+            backend.close(cancel=True)
+            raise
+        finally:
+            if owned:
+                backend.close()
 
 
 def merged_telemetry(
@@ -390,7 +356,7 @@ def matrix_specs(
     return specs
 
 
-def run_matrix_parallel(
+def execute_matrix(
     method_factory,
     workload_names: tuple[str, ...] = PAPER_WORKLOADS,
     scale: ExperimentScale | None = None,
@@ -399,19 +365,20 @@ def run_matrix_parallel(
     cache: ResultCache | None = None,
     progress: ProgressHook | None = None,
     cluster_jobs: int = 1,
+    executor: "str | Executor | None" = None,
 ) -> dict[str, WorkloadExperiment]:
-    """Run a methods-by-workloads grid, fanned out over processes.
+    """Run a methods-by-workloads grid through an executor backend.
 
     Drop-in parallel equivalent of :func:`~.experiment.run_matrix`: the
     same `method_factory` contract (zero-argument callable returning
     fresh methods), the same grid shape, and — because every cell builds
     its own simulator from the shared regimen seed — bit-identical
-    cluster IPCs and estimates.
+    cluster IPCs and estimates, whichever backend runs the cells.
 
     Parameters
     ----------
     jobs:
-        Worker processes; ``None`` means ``os.cpu_count()``.  ``1``
+        Worker parallelism; ``None`` means ``os.cpu_count()``.  ``1``
         executes in-process (no pool, no pickling requirements).
     cache:
         Optional on-disk :class:`ResultCache`; hits skip execution
@@ -425,6 +392,11 @@ def run_matrix_parallel(
         cells themselves already occupy the CPUs, so shard fan-out
         inside pool workers degrades to in-process execution with
         identical results.
+    executor:
+        Registered backend name (``"inprocess"``, ``"threads"``,
+        ``"pool"``, ``"subprocess-queue"``) or a ready
+        :class:`~.executor.Executor`; ``None`` resolves
+        ``REPRO_EXECUTOR`` and defaults to ``"pool"``.
     """
     scale = scale if scale is not None else scale_from_env()
     configs = configs if configs is not None else scale.configs()
@@ -486,14 +458,26 @@ def run_matrix_parallel(
                 pending.append(spec)
 
         if pending:
+            tasks = [_MatrixTask(spec, method_factory) for spec in pending]
+
+            def on_result(index: int, result) -> None:
+                spec = pending[index]
+                results[spec] = result
+                emit(spec, result, cached=False)
+
+            owned = not isinstance(executor, Executor)
+            backend = resolve_executor(executor, jobs=jobs)
             with _span_parent_env(recorder.context()
                                   if recorder.enabled else None):
-                use_pool = jobs > 1 and _is_picklable(method_factory)
-                ran_in_pool = use_pool and _execute_pool(
-                    pending, method_factory, results, emit, jobs
-                )
-                if not ran_in_pool:
-                    _execute_serial(pending, method_factory, results, emit)
+                try:
+                    backend.map(_run_matrix_task, tasks,
+                                on_result=on_result)
+                except BaseException:
+                    backend.close(cancel=True)
+                    raise
+                finally:
+                    if owned:
+                        backend.close()
             if cache is not None:
                 with recorder.span("cache_store", cat="cache",
                                    entries=len(pending)):
@@ -515,3 +499,19 @@ def run_matrix_parallel(
             )
         grid[workload_name] = experiment
     return grid
+
+
+def run_matrix_parallel(*args, **kwargs) -> dict[str, WorkloadExperiment]:
+    """Deprecated name for :func:`execute_matrix`.
+
+    Kept as a thin shim over the executor protocol so existing callers
+    keep working unchanged; new code should go through
+    :func:`repro.api.run_matrix` / :func:`repro.api.submit` (the
+    supported facade) or :func:`execute_matrix` directly.
+    """
+    warnings.warn(
+        "run_matrix_parallel is deprecated; use repro.api.run_matrix / "
+        "repro.api.submit, or repro.harness.execute_matrix",
+        DeprecationWarning, stacklevel=2,
+    )
+    return execute_matrix(*args, **kwargs)

@@ -1,0 +1,23 @@
+"""Long-running simulation service: HTTP job API over the executor layer.
+
+See docs/parallel-execution.md for the deployment walkthrough.  The
+package is stdlib-only: ``http.server`` for transport, the
+:mod:`repro.api` request/result surface for the wire format, and the
+executor registry (:mod:`repro.harness.executor`) for fan-out.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import JOB_STATES, JobRecord, JobStore, QuotaExceeded
+from .server import DEFAULT_HOST, DEFAULT_PORT, SimulationService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "QuotaExceeded",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+]

@@ -1,0 +1,161 @@
+"""Job bookkeeping for the simulation service.
+
+A :class:`JobStore` is the service's single source of truth: a FIFO
+queue of :class:`JobRecord` entries feeding one worker thread, plus
+per-tenant quota enforcement so a chatty client cannot starve the rest
+of the queue.  It is deliberately free of HTTP concerns — the server
+module translates store outcomes into status codes — and free of
+execution concerns: the store never imports the simulator.
+
+Thread-safety: every public method takes the store lock; the worker
+thread blocks on the internal queue, so submission and execution never
+poll.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Pending = holding queue capacity (queued or running).
+_PENDING_STATES = frozenset({"queued", "running"})
+
+
+class QuotaExceeded(Exception):
+    """A tenant has too many pending jobs (the HTTP layer maps to 429)."""
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} has {limit} pending job(s), the maximum; "
+            f"wait for one to finish before submitting more")
+        self.tenant = tenant
+        self.limit = limit
+
+
+@dataclass
+class JobRecord:
+    """One submitted request and everything learned about it since."""
+
+    job_id: str
+    tenant: str
+    request: object  # repro.api.RunRequest
+    state: str = "queued"
+    error: "str | None" = None
+    result: object = None  # repro.api.RunResult once done
+    submitted_at: float = field(default_factory=time.time)
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+
+    def status_payload(self) -> dict:
+        """The JSON body for ``GET /jobs/<id>``."""
+        payload = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "request": self.request.to_payload(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload["cached"] = self.result.cached
+            payload["wall_seconds"] = self.result.wall_seconds
+        return payload
+
+
+class JobStore:
+    """Queue, registry, and quota ledger for service jobs."""
+
+    def __init__(self, *, max_pending_per_tenant: int = 4,
+                 max_jobs: int = 10_000) -> None:
+        if max_pending_per_tenant < 1:
+            raise ValueError(
+                f"max_pending_per_tenant must be >= 1, "
+                f"got {max_pending_per_tenant}")
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self.max_jobs = max_jobs
+        self._lock = threading.Lock()
+        self._jobs: "dict[str, JobRecord]" = {}
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._ids = itertools.count(1)
+
+    # -- submission --------------------------------------------------------
+
+    def pending_count(self, tenant: str) -> int:
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.tenant == tenant and job.state in _PENDING_STATES
+            )
+
+    def submit(self, tenant: str, request) -> JobRecord:
+        """Enqueue a request, enforcing the tenant's pending-job quota."""
+        with self._lock:
+            pending = sum(
+                1 for job in self._jobs.values()
+                if job.tenant == tenant and job.state in _PENDING_STATES
+            )
+            if pending >= self.max_pending_per_tenant:
+                raise QuotaExceeded(tenant, self.max_pending_per_tenant)
+            if len(self._jobs) >= self.max_jobs:
+                # A global backstop against unbounded memory; tenants
+                # hitting it read the same retryable signal as a quota.
+                raise QuotaExceeded(tenant, self.max_pending_per_tenant)
+            job_id = f"job-{next(self._ids):06d}"
+            record = JobRecord(job_id=job_id, tenant=tenant, request=request)
+            self._jobs[job_id] = record
+        self._queue.put(job_id)
+        return record
+
+    # -- worker side -------------------------------------------------------
+
+    def next_job(self, timeout: "float | None" = None) -> "JobRecord | None":
+        """Block for the next queued job; None on timeout."""
+        try:
+            job_id = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "running"
+            job.started_at = time.time()
+
+    def mark_done(self, job_id: str, result) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "done"
+            job.result = result
+            job.finished_at = time.time()
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "failed"
+            job.error = error
+            job.finished_at = time.time()
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> "JobRecord | None":
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> dict:
+        """Jobs per state (for ``GET /stats``)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts

@@ -1,0 +1,278 @@
+"""The long-running simulation service: a stdlib-only JSON HTTP API.
+
+:class:`SimulationService` wires three pieces together:
+
+- a :class:`~.jobs.JobStore` holding submitted jobs and per-tenant
+  quotas,
+- one worker thread draining the store and running each request
+  through :func:`repro.api.execute_request` — the same path inline
+  callers use, including the content-addressed result-cache
+  read-through, under the service's validated
+  :class:`~repro.harness.RunOptions`,
+- a ``ThreadingHTTPServer`` translating HTTP into store operations.
+
+Routes::
+
+    POST /jobs          {"tenant": "...", "request": {RunRequest JSON}}
+                        -> 202 {"job_id": ..., "state": "queued"}
+                        -> 400 on malformed JSON / unknown fields
+                        -> 429 when the tenant's pending quota is full
+    GET  /jobs/<id>     -> 200 job status (state, timestamps, error)
+    GET  /results/<id>  -> 200 RunResult JSON when done
+                        -> 202 {"state": ...} while queued/running
+                        -> 500 {"error": ...} when failed
+    GET  /healthz       -> 200 {"status": "ok"}
+    GET  /stats         -> 200 counters (submitted/completed/failed,
+                           cache_hits, executed, per-state job counts)
+    GET  /executors     -> 200 registered executor backends
+
+Everything is stdlib (``http.server``, ``json``, ``threading``); the
+service needs no extra dependencies to deploy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..api import RunRequest, execute_request
+from ..harness.executor import describe_executors
+from ..harness.options import RunOptions
+from .jobs import JobStore, QuotaExceeded
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: How long the worker blocks on the queue before re-checking shutdown.
+_WORKER_POLL_SECONDS = 0.2
+
+
+class SimulationService:
+    """Owns the job store, the worker thread, and the HTTP server."""
+
+    def __init__(self, *, options: "RunOptions | None" = None,
+                 executor: "str | None" = None,
+                 cache=None,
+                 max_pending_per_tenant: int = 4,
+                 host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT) -> None:
+        self.options = options if options is not None \
+            else RunOptions.from_env()
+        self.executor = executor if executor is not None \
+            else self.options.executor
+        self._cache_setting = cache
+        self.store = JobStore(
+            max_pending_per_tenant=max_pending_per_tenant)
+        self.host = host
+        self.port = port
+        self.counters = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "quota_rejections": 0,
+            "cache_hits": 0,
+            "executed": 0,
+        }
+        self._counter_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._worker: "threading.Thread | None" = None
+        self._httpd: "ThreadingHTTPServer | None" = None
+
+    # -- counters ----------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self.counters[name] += amount
+
+    def stats_payload(self) -> dict:
+        with self._counter_lock:
+            counters = dict(self.counters)
+        return {
+            "counters": counters,
+            "jobs": self.store.counts(),
+            "executor": self.executor or "default",
+            "options": dict(self.options.describe()),
+        }
+
+    # -- job intake --------------------------------------------------------
+
+    def submit(self, tenant: str, request: RunRequest):
+        """Enqueue one request (raises :class:`QuotaExceeded`)."""
+        try:
+            record = self.store.submit(tenant, request)
+        except QuotaExceeded:
+            self._bump("quota_rejections")
+            raise
+        self._bump("jobs_submitted")
+        return record
+
+    # -- worker thread -----------------------------------------------------
+
+    def _run_job(self, job) -> None:
+        self.store.mark_running(job.job_id)
+        try:
+            # The job runs under the service's validated options —
+            # apply() exports them (and removes strays) for the
+            # execution extent, which worker processes inherit.
+            with self.options.apply():
+                result = execute_request(
+                    job.request,
+                    executor=self.executor,
+                    cache=self._resolve_job_cache(),
+                )
+        except Exception as exc:  # a bad job must not kill the worker
+            self.store.mark_failed(job.job_id, f"{type(exc).__name__}: {exc}")
+            self._bump("jobs_failed")
+            return
+        self.store.mark_done(job.job_id, result)
+        self._bump("jobs_completed")
+        self._bump("cache_hits" if result.cached else "executed")
+
+    def _resolve_job_cache(self):
+        if self._cache_setting is not None:
+            return self._cache_setting
+        return self.options.result_cache
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.next_job(timeout=_WORKER_POLL_SECONDS)
+            if job is None:
+                continue
+            self._run_job(job)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the HTTP server and start the worker (non-blocking)."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        # A requested port of 0 means "any free port"; publish the real one.
+        self.port = self._httpd.server_address[1]
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-service-worker",
+            daemon=True)
+        self._worker.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http",
+            daemon=True)
+        self._http_thread.start()
+
+    def serve_forever(self) -> None:
+        """Blocking entry point for ``repro serve``."""
+        self.start()
+        try:
+            while not self._stop.is_set():
+                self._stop.wait(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+
+    def __enter__(self) -> "SimulationService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+def _make_handler(service: SimulationService):
+    """A request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Quieter than the default stderr-per-request logging; the
+        # service has /stats for observability.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        # -- POST /jobs ----------------------------------------------------
+
+        def do_POST(self) -> None:
+            if self.path.rstrip("/") != "/jobs":
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length)
+                body = json.loads(raw.decode() or "{}")
+                if not isinstance(body, dict):
+                    raise ValueError("request body must be a JSON object")
+                tenant = str(body.get("tenant", "default"))
+                request = RunRequest.from_payload(
+                    body.get("request", body.get("job", {})))
+            except (ValueError, TypeError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            try:
+                record = service.submit(tenant, request)
+            except QuotaExceeded as exc:
+                self._send(429, {"error": str(exc),
+                                 "tenant": exc.tenant,
+                                 "limit": exc.limit})
+                return
+            self._send(202, {"job_id": record.job_id,
+                             "state": record.state})
+
+        # -- GET routes ----------------------------------------------------
+
+        def do_GET(self) -> None:
+            path = self.path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._send(200, {"status": "ok"})
+            elif path == "/stats":
+                self._send(200, service.stats_payload())
+            elif path == "/executors":
+                rows = [{"name": name, "class": cls, "description": desc}
+                        for name, cls, desc in describe_executors()]
+                self._send(200, {"executors": rows})
+            elif path.startswith("/jobs/"):
+                self._job_status(path[len("/jobs/"):])
+            elif path.startswith("/results/"):
+                self._job_result(path[len("/results/"):])
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+
+        def _job_status(self, job_id: str) -> None:
+            job = service.store.get(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+                return
+            self._send(200, job.status_payload())
+
+        def _job_result(self, job_id: str) -> None:
+            job = service.store.get(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+                return
+            if job.state == "failed":
+                self._send(500, {"job_id": job_id, "state": "failed",
+                                 "error": job.error})
+            elif job.state != "done":
+                self._send(202, {"job_id": job_id, "state": job.state})
+            else:
+                self._send(200, job.result.to_payload())
+
+    return Handler

@@ -46,8 +46,13 @@ def events_path_from_env() -> str | None:
 def emit_event(path: str | None, event: str, **fields) -> None:
     """Append one event line immediately (no-op without a path).
 
-    A failed append (full disk, revoked path) is swallowed: the firehose
-    is an observation channel and must never take the run down.
+    The line goes out as a single ``os.write`` on an ``O_APPEND``
+    descriptor — one syscall, no userspace buffering — so a worker
+    killed mid-run (executor ``close(cancel=True)``, SIGTERM) can never
+    leave a partially written line for concurrent writers to interleave
+    with.  A failed append (full disk, revoked path) is swallowed: the
+    firehose is an observation channel and must never take the run
+    down.
     """
     if path is None:
         return
@@ -55,8 +60,11 @@ def emit_event(path: str | None, event: str, **fields) -> None:
     record.update(fields)
     line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
     try:
-        with open(path, "a", encoding="utf-8") as stream:
-            stream.write(line)
+        fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
     except OSError:
         pass
 

@@ -11,7 +11,7 @@ from repro.analysis import reference_trajectory_for
 from repro.core import ReverseStateReconstruction
 from repro.harness.experiment import SCALES, run_matrix
 from repro.harness.export import audit_to_json, save_audit
-from repro.harness.parallel import merged_telemetry, run_matrix_parallel
+from repro.harness.parallel import execute_matrix, merged_telemetry
 from repro.harness.reporting import (
     AUDIT_COLUMNS,
     audit_rows,
@@ -173,7 +173,7 @@ class TestParallelEquivalence:
     def test_serial_and_parallel_audits_bit_identical(self, audit_env):
         serial = run_matrix(audit_suite, workload_names=("ammp",),
                             scale=CI)
-        parallel = run_matrix_parallel(
+        parallel = execute_matrix(
             audit_suite, workload_names=("ammp",), scale=CI, jobs=2,
         )
         serial_snapshot = merged_telemetry(serial)

@@ -14,10 +14,10 @@ import pytest
 from repro.harness import (
     SCALES,
     ResultCache,
+    execute_matrix,
     run_matrix,
-    run_matrix_parallel,
 )
-from repro.harness import parallel as parallel_module
+from repro.harness import executor as executor_module
 from repro.harness.parallel import CellProgress
 from repro.warmup import make_method
 
@@ -57,7 +57,7 @@ def serial_grid():
 
 class TestEquivalence:
     def test_pool_matches_serial(self, serial_grid):
-        parallel_grid = run_matrix_parallel(
+        parallel_grid = execute_matrix(
             small_suite, workload_names=WORKLOADS, scale=CI, jobs=2,
         )
         assert_grids_identical(serial_grid, parallel_grid)
@@ -67,15 +67,15 @@ class TestEquivalence:
         def no_pool(*args, **kwargs):  # jobs=1 must never build a pool
             raise AssertionError("ProcessPoolExecutor used with jobs=1")
 
-        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", no_pool)
-        grid = run_matrix_parallel(
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", no_pool)
+        grid = execute_matrix(
             small_suite, workload_names=WORKLOADS, scale=CI, jobs=1,
         )
         assert_grids_identical(serial_grid, grid)
 
     def test_unpicklable_factory_falls_back_to_serial(self, serial_grid):
         factory = lambda: small_suite()  # noqa: E731 — deliberately unpicklable
-        grid = run_matrix_parallel(
+        grid = execute_matrix(
             factory, workload_names=WORKLOADS, scale=CI, jobs=2,
         )
         assert_grids_identical(serial_grid, grid)
@@ -85,9 +85,9 @@ class TestEquivalence:
         def broken_pool(*args, **kwargs):
             raise OSError("no process pools on this platform")
 
-        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor",
                             broken_pool)
-        grid = run_matrix_parallel(
+        grid = execute_matrix(
             small_suite, workload_names=WORKLOADS, scale=CI, jobs=4,
         )
         assert_grids_identical(serial_grid, grid)
@@ -96,7 +96,7 @@ class TestEquivalence:
 class TestProgress:
     def test_progress_events_cover_every_task(self):
         events: list[CellProgress] = []
-        run_matrix_parallel(
+        execute_matrix(
             small_suite, workload_names=WORKLOADS, scale=CI, jobs=1,
             progress=events.append,
         )
@@ -115,12 +115,12 @@ class TestProgress:
 
     def test_cached_events_flagged(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        run_matrix_parallel(
+        execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
             cache=cache,
         )
         events: list[CellProgress] = []
-        run_matrix_parallel(
+        execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
             cache=cache, progress=events.append,
         )
@@ -132,14 +132,14 @@ class TestProgress:
 class TestCachedExecution:
     def test_second_run_is_pure_cache_hits(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        cold = run_matrix_parallel(
+        cold = execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
             cache=cache,
         )
         tasks = 1 + len(METHOD_NAMES)
         assert cache.stats.misses == tasks
         assert cache.stats.writes == tasks
-        warm = run_matrix_parallel(
+        warm = execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
             cache=cache,
         )
@@ -148,7 +148,7 @@ class TestCachedExecution:
 
     def test_scale_change_invalidates(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        run_matrix_parallel(
+        execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
             cache=cache,
         )
@@ -158,7 +158,7 @@ class TestCachedExecution:
             warmup_prefix=CI.warmup_prefix,
         )
         hits_before = cache.stats.hits
-        run_matrix_parallel(
+        execute_matrix(
             small_suite, workload_names=("ammp",), scale=other, jobs=1,
             cache=cache,
         )

@@ -1,0 +1,314 @@
+"""Service and API-facade tests: submit → poll → result round trips.
+
+Covers the acceptance bar for the simulation service: a job submitted
+over HTTP produces exactly the payload an inline
+:func:`repro.api.execute_request` call produces; a repeated request is
+served from the content-addressed result cache without re-running
+anything (asserted via the service counters); tenants exceeding their
+pending-job quota get HTTP 429; and malformed requests get readable
+400s.  Also covers the `RunRequest`/`RunResult` facade itself and the
+deprecation shim.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RunRequest,
+    RunResult,
+    execute_request,
+    gather,
+    submit,
+)
+from repro.harness.options import RunOptions
+from repro.service import (
+    QuotaExceeded,
+    ServiceClient,
+    ServiceError,
+    SimulationService,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")
+
+
+def _service(tmp_path, **kwargs):
+    kwargs.setdefault("options", RunOptions(scale="ci"))
+    kwargs.setdefault("executor", "inprocess")
+    kwargs.setdefault("cache", str(tmp_path / "cache"))
+    kwargs.setdefault("port", 0)
+    return SimulationService(**kwargs)
+
+
+SAMPLE = RunRequest(kind="sample", workloads=("gcc",), methods=("rsr",),
+                    design="ci")
+
+
+class TestRunRequest:
+    def test_payload_round_trip(self):
+        request = RunRequest(kind="matrix", workloads=("gcc", "twolf"),
+                             methods=("rsr", "smarts"), design="ci",
+                             jobs=2)
+        clone = RunRequest.from_payload(
+            json.loads(json.dumps(request.to_payload())))
+        assert clone == request
+        assert clone.fingerprint() == request.fingerprint()
+
+    def test_fingerprint_ignores_execution_knobs(self):
+        base = RunRequest(kind="sample", workloads=("gcc",), design="ci")
+        tuned = RunRequest(kind="sample", workloads=("gcc",), design="ci",
+                           jobs=8, cluster_jobs=4)
+        assert base.fingerprint() == tuned.fingerprint()
+
+    def test_fingerprint_differs_by_content(self):
+        a = RunRequest(kind="sample", workloads=("gcc",), design="ci")
+        b = RunRequest(kind="sample", workloads=("twolf",), design="ci")
+        assert a.fingerprint() != b.fingerprint()
+
+    @pytest.mark.parametrize("bad", [
+        {"kind": "explode"},
+        {"workloads": ["nope"]},
+        {"methods": ["not-a-method"]},
+        {"design": "galactic"},
+        {"source": "sideways"},
+        {"cluster_jobs": -1},
+        {"jobs": -2},
+        {"surprise": 1},
+    ])
+    def test_bad_payloads_raise_readably(self, bad):
+        with pytest.raises(ValueError):
+            RunRequest.from_payload(bad)
+
+    def test_design_defaults_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert RunRequest(kind="sample").design == "ci"
+
+    def test_default_suites(self):
+        assert RunRequest(kind="sample", design="ci").resolved_methods() \
+            == ("S$BP", "R$BP (100%)")
+        assert len(RunRequest(kind="matrix",
+                              design="ci").resolved_methods()) == 16
+
+
+class TestExecuteRequest:
+    def test_cache_read_through(self, tmp_path):
+        first = execute_request(SAMPLE, cache=str(tmp_path))
+        second = execute_request(SAMPLE, cache=str(tmp_path))
+        assert not first.cached and second.cached
+        assert second.payload == first.payload
+
+    def test_payload_is_deterministic_across_backends(self, tmp_path):
+        request = RunRequest(kind="matrix", workloads=("gcc",),
+                             methods=("rsr", "smarts"), design="ci")
+        payloads = [
+            execute_request(request, executor=name, cache="off").payload
+            for name in ("inprocess", "threads")
+        ]
+        blobs = {json.dumps(p, sort_keys=True) for p in payloads}
+        assert len(blobs) == 1
+
+    def test_audit_payload_has_reports(self):
+        request = RunRequest(kind="audit", workloads=("gcc",),
+                             methods=("rsr",), design="ci", source="raw")
+        result = execute_request(request, cache="off")
+        report = result.payload["reports"]["gcc"]
+        assert {"summary", "clusters"} <= set(report)
+
+    def test_submit_gather_matches_inline(self):
+        inline = execute_request(SAMPLE, cache="off")
+        handles = [submit(SAMPLE, cache="off"),
+                   submit(SAMPLE, cache="off")]
+        outcomes = gather(handles, executor="threads")
+        assert [o.payload for o in outcomes] == [inline.payload] * 2
+
+    def test_handle_is_lazy_until_needed(self):
+        handle = submit(SAMPLE, cache="off")
+        assert not handle.done()
+        result = handle.result()
+        assert handle.done()
+        assert isinstance(result, RunResult)
+
+
+class TestServiceRoundTrip:
+    def test_result_matches_inline_exactly(self, tmp_path):
+        inline = execute_request(SAMPLE, cache="off")
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            remote = client.run(SAMPLE)
+        assert remote.payload == inline.payload
+        assert remote.request == SAMPLE
+        assert not remote.cached
+
+    def test_repeat_served_from_cache_without_rerun(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            first = client.run(SAMPLE)
+            second = client.run(SAMPLE)
+            stats = client.stats()
+        assert not first.cached and second.cached
+        assert second.payload == first.payload
+        # The counters prove the second job never re-entered execution.
+        assert stats["counters"]["executed"] == 1
+        assert stats["counters"]["cache_hits"] == 1
+        assert stats["counters"]["jobs_completed"] == 2
+
+    def test_job_status_progression(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(SAMPLE)
+            client.result(job_id)
+            status = client.status(job_id)
+        assert status["state"] == "done"
+        assert status["job_id"] == job_id
+        assert status["finished_at"] >= status["submitted_at"]
+
+    def test_health_stats_executors(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            assert client.health() == {"status": "ok"}
+            assert "pool" in [e["name"] for e in client.executors()]
+            stats = client.stats()
+        assert stats["executor"] == "inprocess"
+        assert set(stats["jobs"]) == {"queued", "running", "done",
+                                      "failed"}
+
+
+class TestServiceRejections:
+    def test_quota_rejection_is_429(self, tmp_path):
+        # Unstarted worker: jobs stay queued, so the quota fills.
+        service = _service(tmp_path, max_pending_per_tenant=2)
+        for _ in range(2):
+            service.submit("tenant-a", SAMPLE)
+        with pytest.raises(QuotaExceeded):
+            service.submit("tenant-a", SAMPLE)
+        # Other tenants are unaffected.
+        service.submit("tenant-b", SAMPLE)
+        assert service.store.pending_count("tenant-a") == 2
+
+    def test_quota_rejection_over_http(self, tmp_path):
+        with _service(tmp_path, max_pending_per_tenant=1) as service:
+            client = ServiceClient(service.url)
+            # A matrix job holds the worker long enough for a second
+            # submission to collide with the quota.
+            slow = RunRequest(kind="matrix", workloads=("gcc", "twolf"),
+                              methods=("rsr", "smarts"), design="ci")
+            job_id = client.submit(slow, tenant="quota-tenant")
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(SAMPLE, tenant="quota-tenant")
+            assert excinfo.value.status == 429
+            stats = client.stats()
+            assert stats["counters"]["quota_rejections"] == 1
+            client.result(job_id)  # drain before shutdown
+
+    def test_malformed_request_is_400(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("/jobs", {"request": {"kind": "explode"}},
+                             expect=(202,))
+        assert excinfo.value.status == 400
+        assert "explode" in str(excinfo.value)
+
+    def test_unknown_job_is_404(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_unknown_path_is_404(self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("/teapot")
+        assert excinfo.value.status == 404
+
+    def test_failed_job_reports_error(self, tmp_path, monkeypatch):
+        # Force a post-validation execution failure; the worker must
+        # survive it and the job must surface the error over HTTP.
+        import repro.service.server as server_module
+
+        def explode(request, **kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(server_module, "execute_request", explode)
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(SAMPLE)
+            with pytest.raises(ServiceError) as excinfo:
+                client.result(job_id, timeout=30)
+        assert excinfo.value.status == 500
+        assert "synthetic failure" in str(excinfo.value)
+
+
+class TestRunOptions:
+    def test_reads_and_validates_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        monkeypatch.setenv("REPRO_MATRIX_JOBS", "3")
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads")
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        options = RunOptions.from_env()
+        assert options.scale == "ci"
+        assert options.matrix_jobs == 3
+        assert options.executor == "threads"
+        assert options.audit is True
+
+    @pytest.mark.parametrize("name,value,fragment", [
+        ("REPRO_EXPERIMENT_SCALE", "galactic", "REPRO_EXPERIMENT_SCALE"),
+        ("REPRO_MATRIX_JOBS", "many", "REPRO_MATRIX_JOBS"),
+        ("REPRO_CLUSTER_JOBS", "-2", "REPRO_CLUSTER_JOBS"),
+        ("REPRO_EXECUTOR", "warp", "unknown executor"),
+        ("REPRO_AUDIT", "maybe", "REPRO_AUDIT"),
+        ("REPRO_TELEMETRY", "kinda", "REPRO_TELEMETRY"),
+        ("REPRO_LOG_COMPACTION", "zip", "REPRO_LOG_COMPACTION"),
+        ("REPRO_BATCH_CORE", "turbo", "REPRO_BATCH_CORE"),
+    ])
+    def test_bad_values_name_the_variable(self, monkeypatch, name, value,
+                                          fragment):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ValueError, match=fragment):
+            RunOptions.from_env()
+
+    def test_overrides_win_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "bench")
+        options = RunOptions.from_env(scale="ci", matrix_jobs=2)
+        assert options.scale == "ci"
+        assert options.matrix_jobs == 2
+
+    def test_none_override_keeps_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        assert RunOptions.from_env(scale=None).scale == "ci"
+
+    def test_batch_core_scalar_spelling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CORE", "scalar")
+        assert RunOptions.from_env().batch_core is False
+
+    def test_apply_exports_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        import os
+
+        options = RunOptions(scale="ci", telemetry=True, audit=False)
+        with options.apply():
+            assert os.environ["REPRO_EXPERIMENT_SCALE"] == "ci"
+            assert os.environ["REPRO_TELEMETRY"] == "1"
+            # apply() removes strays the options leave unset.
+            assert "REPRO_AUDIT" not in os.environ
+        assert os.environ["REPRO_AUDIT"] == "1"
+        assert "REPRO_TELEMETRY" not in os.environ
+
+    def test_resolved_jobs(self):
+        options = RunOptions(scale="ci", matrix_jobs=5, cluster_jobs=None)
+        assert options.resolved_matrix_jobs() == 5
+        assert options.resolved_cluster_jobs() == 1
+        zero = RunOptions(scale="ci", matrix_jobs=0, cluster_jobs=0)
+        assert zero.resolved_matrix_jobs() >= 1
+        assert zero.resolved_cluster_jobs() >= 1
+
+    def test_cli_exit_2_on_bad_env(self, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "warp")
+        assert main(["workloads"]) == 2
+        assert "unknown executor" in capsys.readouterr().err

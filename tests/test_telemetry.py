@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.harness.experiment import SCALES, run_matrix
-from repro.harness.parallel import merged_telemetry, run_matrix_parallel
+from repro.harness.parallel import execute_matrix, merged_telemetry
 from repro.harness.reporting import format_telemetry_summary
 from repro.sampling import SampledSimulator, SamplingRegimen
 from repro.telemetry import (
@@ -311,7 +311,7 @@ class TestParallelMerge:
         monkeypatch.setenv("REPRO_TELEMETRY", "1")
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         serial = run_matrix(small_suite, workload_names=("ammp",), scale=CI)
-        parallel = run_matrix_parallel(
+        parallel = execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=2,
         )
         merged_serial = merged_telemetry(serial)
@@ -336,7 +336,7 @@ class TestParallelMerge:
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
         monkeypatch.delenv("REPRO_AUDIT", raising=False)
-        grid = run_matrix_parallel(
+        grid = execute_matrix(
             small_suite, workload_names=("ammp",), scale=CI, jobs=1,
         )
         merged = merged_telemetry(grid)
@@ -346,7 +346,7 @@ class TestParallelMerge:
 
     def test_zero_cell_grid_folds_to_empty_sentinel(self, monkeypatch):
         monkeypatch.setenv("REPRO_TELEMETRY", "1")
-        grid = run_matrix_parallel(
+        grid = execute_matrix(
             small_suite, workload_names=(), scale=CI, jobs=1,
         )
         merged = merged_telemetry(grid)
