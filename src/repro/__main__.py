@@ -42,6 +42,10 @@ submit KIND
 trace export SPANS
     Convert a ``REPRO_SPANS`` JSONL file into Chrome trace-event JSON
     (loadable in Perfetto / chrome://tracing) or normalized JSONL.
+metrics TRACE
+    Render a completed run's ``REPRO_TRACE`` records as Prometheus text
+    exposition — the offline twin of the service's ``GET /metrics``
+    (see docs/observability.md).
 report
     Render a self-contained HTML run report (span timeline, audit error
     bars, benchmark trajectory) from a spans file and optional audit /
@@ -54,6 +58,11 @@ tier.  ``sample``, ``compare``, ``matrix``, and ``profile`` accept
 ``sample``, ``matrix``, and ``profile`` accept ``--cluster-jobs N`` (or
 ``REPRO_CLUSTER_JOBS``) to run shardable methods through the two-phase
 pipeline with N hot-shard workers (see docs/parallel-execution.md).
+
+Every invocation mints one correlation ``run_id`` (unless ``REPRO_RUN_ID``
+is already set) and plants it for the run's extent, so span, event, and
+trace records produced anywhere — including worker processes — grep
+under one id (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -72,6 +81,7 @@ from .harness import (
 )
 from .sampling import SampledSimulator
 from .simpoint import run_simpoints, select_simpoints
+from .telemetry import bound_run_id, mint_run_id
 from .warmup import (
     SmartsWarmup,
     paper_method_names,
@@ -562,6 +572,33 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Render a completed run's trace as Prometheus text exposition."""
+    from .telemetry import (
+        exposition_from_records,
+        parse_exposition,
+        read_trace,
+    )
+
+    records = read_trace(args.input)
+    if not records:
+        print(f"warning: no records in {args.input} "
+              f"(was the run executed with REPRO_TRACE or --trace set?)",
+              file=sys.stderr)
+    text = exposition_from_records(records).render()
+    # Self-check: whatever we print must satisfy the same strict parser
+    # the CI smoke job runs against the service's live /metrics.
+    parse_exposition(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"metrics exposition ({len(records)} records) "
+              f"written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_report(args) -> int:
     """Render the self-contained HTML run report."""
     import json
@@ -652,6 +689,9 @@ def cmd_serve(args) -> int:
     print(f"executor: {service.executor or 'default (pool)'}; "
           f"scale: {options.scale}; "
           f"quota: {args.quota} pending job(s) per tenant")
+    if options.service_log:
+        print(f"structured service log: {options.service_log}")
+    print(f"metrics: GET {service.url}/metrics")
     print(f"submit with: repro submit --url {service.url} sample "
           f"--workload gcc")
     try:
@@ -970,6 +1010,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.set_defaults(handler=cmd_trace)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="render a completed run's trace as Prometheus text "
+             "exposition",
+    )
+    metrics_parser.add_argument(
+        "input", metavar="TRACE",
+        help="trace JSONL file recorded via REPRO_TRACE or --trace",
+    )
+    metrics_parser.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: stdout)",
+    )
+    metrics_parser.set_defaults(handler=cmd_metrics)
+
     report_parser = subparsers.add_parser(
         "report",
         help="render a self-contained HTML run report",
@@ -1025,7 +1080,15 @@ def main(argv=None) -> int:
             cluster_jobs=getattr(args, "cluster_jobs", None),
             executor=getattr(args, "executor", None),
         )
-        return args.handler(args)
+        # One correlation id per invocation (REPRO_RUN_ID wins when the
+        # caller set one, e.g. an orchestrator correlating several
+        # commands): planted for the handler's extent so every span,
+        # event, and trace record greps under it.
+        if args.options.run_id is None:
+            args.options = args.options.with_overrides(
+                run_id=mint_run_id())
+        with bound_run_id(args.options.run_id):
+            return args.handler(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

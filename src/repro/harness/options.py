@@ -32,6 +32,8 @@ The consolidated variables::
     REPRO_AUDIT              accuracy-audit probes switch
     REPRO_LOG_COMPACTION     skip-log source: auto/raw/compacted
     REPRO_BATCH_CORE         vectorized hot-path core switch
+    REPRO_RUN_ID             correlation id stamped on telemetry output
+    REPRO_SERVICE_LOG        structured service log JSONL path
 
 (``REPRO_SPAN_PARENT`` is deliberately absent: it is cross-process
 plumbing owned by the executor layer, not user configuration.)
@@ -109,6 +111,8 @@ class RunOptions:
     audit: bool = False
     log_compaction: str = "auto"
     batch_core: bool = True
+    run_id: "str | None" = None
+    service_log: "str | None" = None
 
     def __post_init__(self) -> None:
         from .experiment import SCALES
@@ -128,6 +132,10 @@ class RunOptions:
             raise ValueError(
                 f"REPRO_LOG_COMPACTION must be one of auto, raw, "
                 f"compacted, got {self.log_compaction!r}")
+        if self.run_id is not None:
+            from ..telemetry.runid import validate_run_id
+
+            validate_run_id(self.run_id)
 
     # -- construction ------------------------------------------------------
 
@@ -168,6 +176,8 @@ class RunOptions:
                            else _parse_bool("REPRO_BATCH_CORE",
                                             env("REPRO_BATCH_CORE"),
                                             default=True)),
+            "run_id": env("REPRO_RUN_ID") or None,
+            "service_log": env("REPRO_SERVICE_LOG") or None,
         }
         for name, value in overrides.items():
             if value is not None:
@@ -232,6 +242,8 @@ class RunOptions:
             "REPRO_LOG_COMPACTION": ("" if self.log_compaction == "auto"
                                      else self.log_compaction),
             "REPRO_BATCH_CORE": "" if self.batch_core else "0",
+            "REPRO_RUN_ID": self.run_id or "",
+            "REPRO_SERVICE_LOG": self.service_log or "",
         }
         return {name: value for name, value in mapping.items() if value}
 
@@ -253,7 +265,7 @@ class RunOptions:
             "REPRO_CLUSTER_JOBS", "REPRO_EXECUTOR", "REPRO_RESULT_CACHE",
             "REPRO_TRACE", "REPRO_TELEMETRY", "REPRO_SPANS",
             "REPRO_EVENTS", "REPRO_AUDIT", "REPRO_LOG_COMPACTION",
-            "REPRO_BATCH_CORE",
+            "REPRO_BATCH_CORE", "REPRO_RUN_ID", "REPRO_SERVICE_LOG",
         ]
         saved = {name: os.environ.get(name) for name in owned}
         target = self.environ()

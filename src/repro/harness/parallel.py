@@ -41,6 +41,7 @@ from ..sampling import SampledRunResult, SampledSimulator, SimulatorConfigs, Tru
 from ..telemetry import (
     EMPTY_SNAPSHOT,
     EVENT_CELL,
+    RUN_ID_ENV_VAR,
     SPAN_PARENT_ENV_VAR,
     TelemetrySnapshot,
     audit_enabled,
@@ -250,30 +251,46 @@ def _run_matrix_task(task: _MatrixTask):
 
 
 @contextlib.contextmanager
-def _span_parent_env(span_context):
-    """Plant a span context in the environment for task workers.
+def _propagation_env(span_context, run_id):
+    """Plant cross-process observability context for task workers.
 
     Pool workers inherit the environment at executor creation (fork or
     spawn both copy it), and in-process fallbacks read it live — one
-    mechanism covers both execution paths.  No-op for ``None`` (spans
-    disabled); always restores the previous value.
+    mechanism covers both execution paths.  Two values ride it: the
+    span parent context (:data:`~repro.telemetry.SPAN_PARENT_ENV_VAR`)
+    and the correlation id (:data:`~repro.telemetry.RUN_ID_ENV_VAR`).
+    ``None`` values are no-ops (an ambient ``REPRO_RUN_ID`` already in
+    the environment propagates untouched); previous values are always
+    restored.
     """
-    if span_context is None:
+    plants = {}
+    if span_context is not None:
+        plants[SPAN_PARENT_ENV_VAR] = span_context.encode()
+    if run_id is not None:
+        plants[RUN_ID_ENV_VAR] = run_id
+    if not plants:
         yield
         return
-    previous = os.environ.get(SPAN_PARENT_ENV_VAR)
-    os.environ[SPAN_PARENT_ENV_VAR] = span_context.encode()
+    previous = {name: os.environ.get(name) for name in plants}
+    os.environ.update(plants)
     try:
         yield
     finally:
-        if previous is None:
-            os.environ.pop(SPAN_PARENT_ENV_VAR, None)
-        else:
-            os.environ[SPAN_PARENT_ENV_VAR] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _span_parent_env(span_context):
+    """Back-compat alias: span-context-only propagation."""
+    return _propagation_env(span_context, None)
 
 
 def map_tasks(worker, tasks, jobs: int, span_context=None,
-              executor: "str | Executor | None" = None) -> list:
+              executor: "str | Executor | None" = None,
+              run_id: "str | None" = None) -> list:
     """Order-preserving parallel map: ``[worker(t) for t in tasks]``.
 
     The generic fan-out underneath the two-phase pipeline's shard
@@ -289,7 +306,11 @@ def map_tasks(worker, tasks, jobs: int, span_context=None,
     `span_context` (a :class:`~repro.telemetry.SpanContext`) re-parents
     every worker's spans under the caller's open span and onto the run's
     clock origin; it rides the environment so the same propagation works
-    in subprocess workers and in-process fallbacks alike.
+    in subprocess workers and in-process fallbacks alike.  `run_id`
+    rides the same mechanism: ``None`` defers to the ambient
+    ``REPRO_RUN_ID`` (the common case — the CLI and the service plant
+    it once per run), an explicit value pins the fan-out's correlation
+    id for library callers.
 
     An interrupted or crashing fan-out closes the backend with
     ``cancel=True`` — pending work is abandoned and live worker
@@ -298,7 +319,7 @@ def map_tasks(worker, tasks, jobs: int, span_context=None,
     tasks = list(tasks)
     owned = not isinstance(executor, Executor)
     backend = resolve_executor(executor, jobs=jobs)
-    with _span_parent_env(span_context):
+    with _propagation_env(span_context, run_id):
         try:
             return backend.map(worker, tasks)
         except BaseException:

@@ -9,6 +9,12 @@ executor registry (:mod:`repro.harness.executor`) for fan-out.
 from .client import ServiceClient, ServiceError
 from .jobs import JOB_STATES, JobRecord, JobStore, QuotaExceeded
 from .server import DEFAULT_HOST, DEFAULT_PORT, SimulationService
+from .servicelog import (
+    NULL_SERVICE_LOG,
+    SERVICE_LOG_ENV_VAR,
+    ServiceLog,
+    service_log_path_from_env,
+)
 
 __all__ = [
     "DEFAULT_HOST",
@@ -16,8 +22,11 @@ __all__ = [
     "JOB_STATES",
     "JobRecord",
     "JobStore",
+    "NULL_SERVICE_LOG",
     "QuotaExceeded",
+    "SERVICE_LOG_ENV_VAR",
     "ServiceClient",
     "ServiceError",
+    "ServiceLog",
     "SimulationService",
 ]

@@ -68,6 +68,15 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._call("/stats")[1]
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition."""
+        url = f"{self.base_url}/metrics"
+        with urllib.request.urlopen(url,
+                                    timeout=self.timeout) as response:
+            if response.status != 200:
+                raise ServiceError(response.status, {"error": "/metrics"})
+            return response.read().decode("utf-8")
+
     def executors(self) -> list:
         return self._call("/executors")[1]["executors"]
 

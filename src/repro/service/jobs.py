@@ -45,12 +45,33 @@ class JobRecord:
     job_id: str
     tenant: str
     request: object  # repro.api.RunRequest
+    #: Correlation id minted at submission; stamped on every telemetry
+    #: record the job produces and on the service's structured log, so
+    #: one grep joins the HTTP request to its worker-process artifacts.
+    run_id: "str | None" = None
     state: str = "queued"
     error: "str | None" = None
     result: object = None  # repro.api.RunResult once done
     submitted_at: float = field(default_factory=time.time)
     started_at: "float | None" = None
     finished_at: "float | None" = None
+    #: Monotonic twins of the wall-clock timestamps above: latency
+    #: measurements (queue wait, execution) must not jump with NTP.
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: "float | None" = None
+    finished_mono: "float | None" = None
+
+    def queue_wait_seconds(self) -> "float | None":
+        """Submission-to-start latency (None while still queued)."""
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.submitted_mono
+
+    def run_seconds(self) -> "float | None":
+        """Start-to-finish latency (None until the job finishes)."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
 
     def status_payload(self) -> dict:
         """The JSON body for ``GET /jobs/<id>``."""
@@ -63,6 +84,8 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.run_id is not None:
+            payload["run_id"] = self.run_id
         if self.error is not None:
             payload["error"] = self.error
         if self.result is not None:
@@ -96,7 +119,8 @@ class JobStore:
                 if job.tenant == tenant and job.state in _PENDING_STATES
             )
 
-    def submit(self, tenant: str, request) -> JobRecord:
+    def submit(self, tenant: str, request,
+               run_id: "str | None" = None) -> JobRecord:
         """Enqueue a request, enforcing the tenant's pending-job quota."""
         with self._lock:
             pending = sum(
@@ -110,7 +134,8 @@ class JobStore:
                 # hitting it read the same retryable signal as a quota.
                 raise QuotaExceeded(tenant, self.max_pending_per_tenant)
             job_id = f"job-{next(self._ids):06d}"
-            record = JobRecord(job_id=job_id, tenant=tenant, request=request)
+            record = JobRecord(job_id=job_id, tenant=tenant,
+                               request=request, run_id=run_id)
             self._jobs[job_id] = record
         self._queue.put(job_id)
         return record
@@ -131,6 +156,7 @@ class JobStore:
             job = self._jobs[job_id]
             job.state = "running"
             job.started_at = time.time()
+            job.started_mono = time.monotonic()
 
     def mark_done(self, job_id: str, result) -> None:
         with self._lock:
@@ -138,6 +164,7 @@ class JobStore:
             job.state = "done"
             job.result = result
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
 
     def mark_failed(self, job_id: str, error: str) -> None:
         with self._lock:
@@ -145,6 +172,7 @@ class JobStore:
             job.state = "failed"
             job.error = error
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
 
     # -- inspection --------------------------------------------------------
 
@@ -159,3 +187,15 @@ class JobStore:
             for job in self._jobs.values():
                 counts[job.state] += 1
             return counts
+
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet started (the ``queued`` gauge)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.state == "queued")
+
+    def running_count(self) -> int:
+        """Jobs currently executing (the ``inflight`` gauge)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.state == "running")

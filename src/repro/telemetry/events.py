@@ -25,11 +25,19 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
+
+from .runid import run_id_from_env
 
 #: Environment variable naming the events JSONL file.  Setting it turns
 #: on per-event append writes everywhere (sessions and matrix driver).
 EVENTS_ENV_VAR = "REPRO_EVENTS"
+
+#: Paths whose appends already failed once: the first failure earns a
+#: stderr warning, later ones stay silent (a full disk would otherwise
+#: turn every cluster boundary into a warning line).
+_warned_paths: set[str] = set()
 
 EVENT_RUN_START = "run_start"
 EVENT_RUN_END = "run_end"
@@ -50,13 +58,21 @@ def emit_event(path: str | None, event: str, **fields) -> None:
     descriptor — one syscall, no userspace buffering — so a worker
     killed mid-run (executor ``close(cancel=True)``, SIGTERM) can never
     leave a partially written line for concurrent writers to interleave
-    with.  A failed append (full disk, revoked path) is swallowed: the
-    firehose is an observation channel and must never take the run
-    down.
+    with.  A failed append (full disk, revoked path) never takes the
+    run down — the firehose is an observation channel — but the *first*
+    failure per path warns on stderr so a silently dead firehose is
+    diagnosable.
+
+    When a correlation id is ambient (:data:`~.runid.RUN_ID_ENV_VAR`),
+    every line carries it as ``run_id``, joining the firehose to span
+    records and the service log.
     """
     if path is None:
         return
     record = {"event": event, "t": time.time(), "pid": os.getpid()}
+    run_id = run_id_from_env()
+    if run_id is not None:
+        record["run_id"] = run_id
     record.update(fields)
     line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
     try:
@@ -65,8 +81,14 @@ def emit_event(path: str | None, event: str, **fields) -> None:
             os.write(fd, line.encode("utf-8"))
         finally:
             os.close(fd)
-    except OSError:
-        pass
+    except OSError as exc:
+        if path not in _warned_paths:
+            _warned_paths.add(path)
+            print(
+                f"repro: warning: cannot append events to {path!r} "
+                f"({exc}); further failures for this path will be silent",
+                file=sys.stderr,
+            )
 
 
 def read_events(path: str) -> list[dict]:

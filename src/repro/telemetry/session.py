@@ -28,6 +28,7 @@ import time
 
 from .events import EVENT_CLUSTER, emit_event, events_path_from_env
 from .registry import MetricsRegistry, NULL_REGISTRY
+from .runid import run_id_from_env
 from .snapshot import TelemetrySnapshot
 from .spans import (
     NULL_SPANS,
@@ -104,6 +105,8 @@ class Telemetry:
         #: explicit recorder (or the null one) is injected.
         self.spans = spans if spans is not None else recorder_from_env()
         self.events_path = events_path_from_env()
+        #: Ambient correlation id (None: trace records not stamped).
+        self.run_id = run_id_from_env()
         self.phase_seconds: dict[str, float] = {}
         self.trace_records: list[dict] = []
         self._flushed = 0
@@ -184,6 +187,8 @@ class Telemetry:
         of every counter touched inside the scope.
         """
         record = {"type": RECORD_CLUSTER, **fields}
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
         phases = self._cluster_phases
         for name in PHASES:
             record[f"{name}_seconds"] = phases.get(name, 0.0)
@@ -222,7 +227,9 @@ class Telemetry:
         return record
 
     def emit(self, record: dict) -> None:
-        """Buffer an arbitrary extra trace record."""
+        """Buffer an arbitrary extra trace record (run_id-stamped)."""
+        if self.run_id is not None and "run_id" not in record:
+            record = {**record, "run_id": self.run_id}
         self.trace_records.append(record)
 
     # -- output --------------------------------------------------------------

@@ -46,6 +46,8 @@ import sys
 import threading
 import time
 
+from .runid import run_id_from_env
+
 #: Environment variable enabling span recording.  ``1``/``on`` collects
 #: in memory only (span records ride telemetry snapshots); any other
 #: non-off value is a JSONL file path the session appends its spans to
@@ -177,6 +179,11 @@ class SpanRecorder:
         self.pid = os.getpid()
         self.tid = threading.get_native_id()
         self.path = path
+        #: Ambient correlation id at session start (None: not stamped).
+        #: Worker recorders inherit it through the environment exactly
+        #: like the span parent context, so spans from every process of
+        #: a run grep under one id.
+        self.run_id = run_id_from_env()
         self._instance = _next_recorder_index()
         self._seq = 0
         self._flushed = 0
@@ -223,13 +230,15 @@ class SpanRecorder:
                    + self._wall_offset_ns),
             "dur": end_perf_ns - start_perf_ns,
         }
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
         if args:
             record["args"] = args
         self.records.append(record)
 
     def counter(self, name: str, value) -> None:
         """Record one counter-track sample at the current timestamp."""
-        self.records.append({
+        record = {
             "type": RECORD_COUNTER,
             "name": name,
             "value": value,
@@ -237,7 +246,10 @@ class SpanRecorder:
             "tid": self.tid,
             "ts": (time.perf_counter_ns() - self._origin_perf_ns
                    + self._wall_offset_ns),
-        })
+        }
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
+        self.records.append(record)
 
     # -- propagation ---------------------------------------------------------
 

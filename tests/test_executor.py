@@ -39,6 +39,7 @@ from repro.harness.executor import (
 )
 from repro.harness.parallel import map_tasks
 from repro.sampling import SampledSimulator, SamplingRegimen
+from repro.telemetry.runid import RUN_ID_ENV_VAR
 from repro.telemetry.spans import SPAN_PARENT_ENV_VAR, SpanContext
 from repro.workloads import build_workload
 
@@ -66,6 +67,10 @@ def _boom(task):
 
 def _read_span_parent(_task):
     return os.environ.get(SPAN_PARENT_ENV_VAR)
+
+
+def _read_run_id(_task):
+    return os.environ.get(RUN_ID_ENV_VAR)
 
 
 def _sleep_forever(_task):
@@ -122,6 +127,20 @@ class TestConformance:
         parents = map_tasks(_read_span_parent, list(range(4)), jobs=2,
                             span_context=context, executor=name)
         assert parents == [context.encode()] * 4
+
+    def test_run_id_propagates(self, name, monkeypatch):
+        # The correlation-id leg of the conformance contract: every
+        # backend's workers — threads or separate processes — see the
+        # run_id map_tasks plants, and it never leaks past the call.
+        monkeypatch.delenv(RUN_ID_ENV_VAR, raising=False)
+        seen = map_tasks(_read_run_id, list(range(4)), jobs=2,
+                         executor=name, run_id="rconform01")
+        assert seen == ["rconform01"] * 4
+        assert RUN_ID_ENV_VAR not in os.environ
+        # Without an explicit id, the ambient environment wins.
+        monkeypatch.setenv(RUN_ID_ENV_VAR, "rambient02")
+        assert map_tasks(_read_run_id, [0], jobs=1, executor=name) == \
+            ["rambient02"]
 
     def test_sharded_fold_bit_identical_across_backends(self, name,
                                                         monkeypatch):

@@ -1,0 +1,269 @@
+"""Metrics exposition tests: histograms, render/parse round trips.
+
+Covers the stdlib Prometheus-exposition layer end to end: the
+fixed-bucket :class:`BucketHistogram` arithmetic, the
+:class:`MetricsExposition` builder's render output, the strict
+:func:`parse_exposition` validator (the same one the CI metrics-smoke
+job runs against a live ``/metrics`` scrape), the offline
+:func:`exposition_from_records` twin, and the correlation-id helpers
+in :mod:`repro.telemetry.runid`.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.telemetry import (
+    BucketHistogram,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsExposition,
+    RUN_ID_ENV_VAR,
+    bound_run_id,
+    exposition_from_records,
+    mint_run_id,
+    parse_exposition,
+    run_id_from_env,
+    validate_run_id,
+)
+
+
+class TestBucketHistogram:
+    def test_observe_and_cumulative(self):
+        hist = BucketHistogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        assert hist.cumulative() == [
+            (0.1, 1), (1.0, 3), (10.0, 4), (math.inf, 5)]
+
+    def test_boundary_value_is_le_inclusive(self):
+        hist = BucketHistogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.cumulative()[0] == (1.0, 1)
+
+    def test_merge_requires_matching_buckets(self):
+        a = BucketHistogram(buckets=(1.0, 2.0))
+        b = BucketHistogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.cumulative() == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(BucketHistogram(buckets=(5.0,)))
+
+    def test_copy_is_independent(self):
+        hist = BucketHistogram(buckets=(1.0,))
+        hist.observe(0.5)
+        snap = hist.copy()
+        hist.observe(0.25)
+        assert snap.count == 1
+        assert hist.count == 2
+
+    @pytest.mark.parametrize("bad", [
+        (), (2.0, 1.0), (1.0, 1.0), (1.0, math.inf),
+    ])
+    def test_bad_bucket_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            BucketHistogram(buckets=bad)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == \
+            sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+class TestMetricsExposition:
+    def test_counter_accumulates_and_gauge_overwrites(self):
+        expo = MetricsExposition()
+        expo.counter("repro_jobs_total", "Jobs.", 1, {"kind": "sample"})
+        expo.counter("repro_jobs_total", "Jobs.", 2, {"kind": "sample"})
+        expo.gauge("repro_depth", "Depth.", 3)
+        expo.gauge("repro_depth", "Depth.", 7)
+        text = expo.render()
+        assert 'repro_jobs_total{kind="sample"} 3' in text
+        assert "repro_depth 7" in text
+
+    def test_counter_name_must_end_total(self):
+        with pytest.raises(ValueError, match="_total"):
+            MetricsExposition().counter("repro_jobs", "Jobs.", 1)
+
+    def test_kind_conflict_raises(self):
+        expo = MetricsExposition()
+        expo.gauge("repro_thing", "X.", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            expo.observe("repro_thing", "X.", 1)
+
+    def test_invalid_names_and_labels_raise(self):
+        expo = MetricsExposition()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            expo.gauge("bad name", "X.", 1)
+        with pytest.raises(ValueError, match="invalid label name"):
+            expo.gauge("repro_ok", "X.", 1, {"bad-label": "v"})
+
+    def test_label_values_are_escaped(self):
+        expo = MetricsExposition()
+        expo.gauge("repro_info", "X.", 1,
+                   {"path": 'a"b\\c\nd'})
+        text = expo.render()
+        assert r'path="a\"b\\c\nd"' in text
+        parsed = parse_exposition(text)
+        _, labels, _ = parsed["repro_info"]["samples"][0]
+        assert labels["path"] == 'a"b\\c\nd'
+
+    def test_render_parse_round_trip(self):
+        expo = MetricsExposition()
+        expo.counter("repro_requests_total", "Requests.", 5,
+                     {"route": "/jobs"})
+        expo.gauge("repro_uptime_seconds", "Uptime.", 12.5)
+        for value in (0.02, 0.3, 4.0):
+            expo.observe("repro_latency_seconds", "Latency.", value,
+                         buckets=(0.1, 1.0))
+        families = parse_exposition(expo.render())
+        assert families["repro_requests_total"]["kind"] == "counter"
+        assert families["repro_uptime_seconds"]["samples"] == [
+            ("repro_uptime_seconds", {}, 12.5)]
+        hist = families["repro_latency_seconds"]
+        assert hist["kind"] == "histogram"
+        by_name = {}
+        for sample_name, labels, value in hist["samples"]:
+            by_name.setdefault(sample_name, []).append((labels, value))
+        assert by_name["repro_latency_seconds_count"][0][1] == 3
+        inf_bucket = [v for labels, v
+                      in by_name["repro_latency_seconds_bucket"]
+                      if labels["le"] == "+Inf"]
+        assert inf_bucket == [3]
+
+    def test_attach_histogram_merges_on_second_attach(self):
+        expo = MetricsExposition()
+        a = BucketHistogram(buckets=(1.0,))
+        a.observe(0.5)
+        b = BucketHistogram(buckets=(1.0,))
+        b.observe(2.0)
+        expo.attach_histogram("repro_wait_seconds", "Wait.", a,
+                              {"kind": "sample"})
+        expo.attach_histogram("repro_wait_seconds", "Wait.", b,
+                              {"kind": "sample"})
+        families = parse_exposition(expo.render())
+        counts = [v for name, _, v
+                  in families["repro_wait_seconds"]["samples"]
+                  if name.endswith("_count")]
+        assert counts == [2]
+
+    def test_empty_exposition_renders_empty(self):
+        assert MetricsExposition().render() == ""
+
+
+class TestParseExposition:
+    def test_sample_without_type_raises(self):
+        with pytest.raises(ValueError, match="no\\s+# TYPE"):
+            parse_exposition("repro_orphan 1\n")
+
+    def test_malformed_type_raises(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_exposition("# TYPE repro_x summary\nrepro_x 1\n")
+
+    def test_histogram_missing_inf_bucket_raises(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 1\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ValueError, match="missing \\+Inf"):
+            parse_exposition(text)
+
+    def test_histogram_non_cumulative_raises(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 5\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 2\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_histogram_count_mismatch_raises(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="!= \\+Inf"):
+            parse_exposition(text)
+
+    def test_plain_comments_and_blank_lines_ignored(self):
+        families = parse_exposition(
+            "\n# a comment\n# TYPE repro_g gauge\nrepro_g 1\n")
+        assert families["repro_g"]["samples"] == [("repro_g", {}, 1.0)]
+
+
+class TestExpositionFromRecords:
+    RECORDS = [
+        {"type": "cluster", "workload": "gcc", "method": "rsr",
+         "run_id": "rdeadbeef", "wall_seconds": 0.25,
+         "warm_seconds": 0.1, "detail_seconds": 0.15,
+         "counters": {"cache.hits": 3},
+         "blocks_reconstructed": 40},
+        {"type": "cluster", "workload": "gcc", "method": "rsr",
+         "run_id": "rdeadbeef", "wall_seconds": 0.5},
+        {"type": "meta", "run_id": "rcafef00d"},
+    ]
+
+    def test_builds_valid_exposition(self):
+        text = exposition_from_records(self.RECORDS).render()
+        families = parse_exposition(text)
+        clusters = families["repro_clusters_total"]["samples"]
+        assert clusters == [
+            ("repro_clusters_total",
+             {"method": "rsr", "workload": "gcc"}, 2.0)]
+        assert "repro_cluster_phase_seconds" in families
+        assert "repro_cluster_wall_seconds" in families
+        assert families["repro_cache_hits_total"]["samples"][0][2] == 3.0
+        assert families["repro_blocks_reconstructed_total"][
+            "samples"][0][2] == 40.0
+
+    def test_run_info_series_per_run_id(self):
+        families = parse_exposition(
+            exposition_from_records(self.RECORDS).render())
+        run_ids = sorted(labels["run_id"] for _, labels, _
+                         in families["repro_run_info"]["samples"])
+        assert run_ids == ["rcafef00d", "rdeadbeef"]
+
+    def test_no_records_renders_empty(self):
+        assert exposition_from_records([]).render() == ""
+
+
+class TestRunId:
+    def test_mint_is_unique_and_valid(self):
+        ids = {mint_run_id() for _ in range(100)}
+        assert len(ids) == 100
+        for run_id in ids:
+            assert validate_run_id(run_id) == run_id
+            assert run_id.startswith("r")
+
+    @pytest.mark.parametrize("bad", ["", "has space", " pad ", "x" * 129,
+                                     "new\nline"])
+    def test_validate_rejects_bad_ids(self, bad):
+        with pytest.raises(ValueError, match=RUN_ID_ENV_VAR):
+            validate_run_id(bad)
+
+    def test_bound_run_id_plants_and_restores(self, monkeypatch):
+        monkeypatch.delenv(RUN_ID_ENV_VAR, raising=False)
+        assert run_id_from_env() is None
+        with bound_run_id("router"):
+            assert run_id_from_env() == "router"
+            with bound_run_id("rinner"):
+                assert os.environ[RUN_ID_ENV_VAR] == "rinner"
+            assert run_id_from_env() == "router"
+        assert RUN_ID_ENV_VAR not in os.environ
+
+    def test_bound_none_is_a_no_op(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV_VAR, "rkept")
+        with bound_run_id(None):
+            assert run_id_from_env() == "rkept"
+        assert run_id_from_env() == "rkept"

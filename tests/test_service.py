@@ -11,6 +11,7 @@ deprecation shim.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -28,6 +29,7 @@ from repro.service import (
     ServiceError,
     SimulationService,
 )
+from repro.telemetry import parse_exposition
 
 pytestmark = pytest.mark.filterwarnings(
     "ignore::DeprecationWarning")
@@ -166,9 +168,13 @@ class TestServiceRoundTrip:
     def test_health_stats_executors(self, tmp_path):
         with _service(tmp_path) as service:
             client = ServiceClient(service.url)
-            assert client.health() == {"status": "ok"}
+            health = client.health()
             assert "pool" in [e["name"] for e in client.executors()]
             stats = client.stats()
+        assert health["status"] == "ok"
+        assert health["version"]
+        assert health["uptime_seconds"] >= 0
+        assert health["queue_depth"] == 0
         assert stats["executor"] == "inprocess"
         assert set(stats["jobs"]) == {"queued", "running", "done",
                                       "failed"}
@@ -240,6 +246,190 @@ class TestServiceRejections:
                 client.result(job_id, timeout=30)
         assert excinfo.value.status == 500
         assert "synthetic failure" in str(excinfo.value)
+
+
+class TestServiceObservability:
+    def test_metrics_is_valid_exposition_with_latency_histograms(
+            self, tmp_path):
+        with _service(tmp_path) as service:
+            client = ServiceClient(service.url)
+            client.run(SAMPLE)
+            client.run(SAMPLE)  # second lands in the result cache
+            families = parse_exposition(client.metrics())
+        submitted = families["repro_service_jobs_submitted_total"]
+        assert submitted["kind"] == "counter"
+        assert submitted["samples"][0][2] == 2.0
+        assert families["repro_service_cache_hits_total"][
+            "samples"][0][2] == 1.0
+        assert families["repro_service_queue_depth"]["samples"][0][2] == 0.0
+        for name in ("repro_job_queue_wait_seconds",
+                     "repro_job_run_seconds"):
+            hist = families[name]
+            assert hist["kind"] == "histogram"
+            counts = {tuple(sorted(labels.items())): value
+                      for sample, labels, value in hist["samples"]
+                      if sample.endswith("_count")}
+            assert counts == {(("kind", "sample"),): 2.0}
+        info = families["repro_service_info"]["samples"][0][1]
+        assert info["executor"] == "inprocess"
+        routes = {labels["route"] for _, labels, _
+                  in families["repro_http_requests_total"]["samples"]}
+        assert {"/jobs", "/results/{id}"} <= routes
+
+    def test_concurrent_metrics_and_jobs_traffic(self, tmp_path):
+        # Scrapes racing submissions must always parse: histograms are
+        # rendered from copies taken under the metrics lock, so a
+        # half-applied observe can never tear _count away from +Inf.
+        failures = []
+
+        def scrape(client):
+            for _ in range(8):
+                try:
+                    parse_exposition(client.metrics())
+                except (ValueError, ServiceError) as exc:
+                    failures.append(exc)
+
+        with _service(tmp_path, executor="threads") as service:
+            client = ServiceClient(service.url)
+            scrapers = [threading.Thread(target=scrape, args=(client,))
+                        for _ in range(3)]
+            for thread in scrapers:
+                thread.start()
+            job_ids = [client.submit(SAMPLE) for _ in range(3)]
+            for job_id in job_ids:
+                client.result(job_id)
+            for thread in scrapers:
+                thread.join()
+        assert failures == []
+
+    def test_service_log_records_access_and_job_lines(self, tmp_path):
+        log_path = tmp_path / "service.jsonl"
+        options = RunOptions(scale="ci", service_log=str(log_path))
+        with _service(tmp_path, options=options) as service:
+            client = ServiceClient(service.url)
+            client.run(SAMPLE, tenant="observer")
+            client.health()
+        lines = [json.loads(line)
+                 for line in log_path.read_text().splitlines()]
+        access = [line for line in lines if line["log"] == "access"]
+        jobs = [line for line in lines if line["log"] == "job"]
+        assert {line["state"] for line in jobs} == \
+            {"queued", "running", "done"}
+        done = next(line for line in jobs if line["state"] == "done")
+        assert done["tenant"] == "observer"
+        assert done["kind"] == "sample"
+        assert done["run_id"].startswith("r")
+        assert done["run_seconds"] >= 0
+        running = next(line for line in jobs if line["state"] == "running")
+        assert running["queue_wait_seconds"] >= 0
+        post = next(line for line in access
+                    if line["route"] == "/jobs" and line["method"] == "POST")
+        assert post["status"] == 202
+        assert post["tenant"] == "observer"
+        assert post["run_id"] == done["run_id"]
+        assert post["duration_ms"] >= 0
+        result_lines = [line for line in access
+                        if line["route"] == "/results/{id}"]
+        assert result_lines and all(
+            line["run_id"] == done["run_id"] for line in result_lines)
+        assert any(line["route"] == "/healthz" for line in access)
+
+    def test_service_log_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_LOG", raising=False)
+        with _service(tmp_path) as service:
+            assert not service.log.enabled
+            ServiceClient(service.url).run(SAMPLE)
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_service_log_failure_warns_once(self, tmp_path, capsys):
+        from repro.service import ServiceLog
+
+        log = ServiceLog(str(tmp_path))  # a directory: appends fail
+        log.write("access", status=200)
+        log.write("access", status=200)
+        err = capsys.readouterr().err
+        assert err.count("cannot append service log") == 1
+
+    def test_run_id_joins_log_events_and_spans(self, tmp_path):
+        # The acceptance grep: one id stamped by the service joins its
+        # structured log, the events firehose, and the span records the
+        # sharded execution wrote from pool worker processes.
+        paths = {name: tmp_path / f"{name}.jsonl"
+                 for name in ("service", "events", "spans")}
+        options = RunOptions(scale="ci", cluster_jobs=2,
+                             service_log=str(paths["service"]),
+                             events=str(paths["events"]),
+                             spans=str(paths["spans"]))
+        with _service(tmp_path, options=options,
+                      executor="pool") as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(SAMPLE)
+            run_id = client.status(job_id)["run_id"]
+            client.result(job_id)
+            assert client.status(job_id)["run_id"] == run_id
+        for name, path in paths.items():
+            lines = [json.loads(line)
+                     for line in path.read_text().splitlines()]
+            stamped = [line for line in lines
+                       if line.get("run_id") == run_id]
+            assert stamped, f"run_id missing from {name} log"
+        span_pids = {line["pid"]
+                     for line in map(
+                         json.loads,
+                         paths["spans"].read_text().splitlines())
+                     if line.get("run_id") == run_id}
+        assert len(span_pids) >= 2  # worker processes joined the story
+
+    def test_repeated_start_stop_joins_http_thread(self, tmp_path):
+        service = _service(tmp_path)
+        for _ in range(2):
+            service.start()
+            http_thread = service._http_thread
+            assert http_thread.is_alive()
+            service.stop()
+            assert not http_thread.is_alive()
+            assert service._http_thread is None
+            assert service._worker is None
+
+    def test_write_response_tolerates_gone_client(self):
+        from repro.service.server import write_response
+
+        class _Gone:
+            close_connection = False
+
+            def send_response(self, status):
+                raise BrokenPipeError("client went away")
+
+        handler = _Gone()
+        assert write_response(handler, 200, b"{}", "application/json") \
+            is False
+        assert handler.close_connection is True
+
+        class _Wire:
+            class wfile:
+                body = b""
+
+                @classmethod
+                def write(cls, data):
+                    cls.body = data
+
+            def __init__(self):
+                self.headers = []
+
+            def send_response(self, status):
+                self.status = status
+
+            def send_header(self, key, value):
+                self.headers.append((key, value))
+
+            def end_headers(self):
+                pass
+
+        wire = _Wire()
+        assert write_response(wire, 200, b"ok", "text/plain") is True
+        assert wire.status == 200
+        assert ("Content-Length", "2") in wire.headers
+        assert wire.wfile.body == b"ok"
 
 
 class TestRunOptions:

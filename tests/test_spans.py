@@ -268,6 +268,37 @@ class TestEventsFirehose:
         assert len(clusters) == CI.regimen().num_clusters
         assert all("wall_seconds" in event for event in clusters)
 
+    def test_events_stamp_ambient_run_id(self, monkeypatch, tmp_path):
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_EVENTS", str(path))
+        monkeypatch.setenv("REPRO_RUN_ID", "rfirehose1")
+        run_sampled(1)
+        events = read_events(str(path))
+        assert events and all(
+            event["run_id"] == "rfirehose1" for event in events)
+
+    def test_no_run_id_field_without_ambient_id(self, monkeypatch,
+                                                tmp_path):
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_EVENTS", str(path))
+        monkeypatch.delenv("REPRO_RUN_ID", raising=False)
+        run_sampled(1)
+        assert all("run_id" not in event
+                   for event in read_events(str(path)))
+
+    def test_failed_append_warns_once_per_path(self, tmp_path, capsys):
+        from repro.telemetry.events import emit_event
+
+        # A directory path makes every append raise OSError; the
+        # firehose must warn on the first failure and then go quiet.
+        dead = tmp_path / "not-a-file"
+        dead.mkdir()
+        emit_event(str(dead), "cluster", index=0)
+        emit_event(str(dead), "cluster", index=1)
+        err = capsys.readouterr().err
+        assert err.count("cannot append events") == 1
+        assert str(dead) in err
+
 
 class TestRunReport:
     def test_report_renders_spans_audit_and_trajectory(self, monkeypatch):
@@ -365,6 +396,40 @@ class TestCLI:
         html = out_path.read_text()
         assert "<svg" in html and "Span timeline" in html
         assert "report written" in capsys.readouterr().out
+
+    def test_metrics_command_renders_exposition_from_trace(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.telemetry import parse_exposition
+
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "ci")
+        trace_path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        assert main(["sample", "ammp", "--method", "rsr"]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "metrics.prom"
+        assert main(["metrics", str(trace_path),
+                     "-o", str(out_path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        families = parse_exposition(out_path.read_text())
+        clusters = families["repro_clusters_total"]["samples"]
+        assert clusters[0][1]["workload"] == "ammp"
+        assert clusters[0][2] == CI.regimen().num_clusters
+        assert families["repro_cluster_wall_seconds"]["kind"] == \
+            "histogram"
+        # The CLI mints one run_id per invocation; the trace records
+        # carry it, so the offline exposition grows one info series.
+        run_ids = [labels["run_id"] for _, labels, _
+                   in families["repro_run_info"]["samples"]]
+        assert len(run_ids) == 1 and run_ids[0].startswith("r")
+
+    def test_metrics_command_warns_on_empty_trace(self, tmp_path,
+                                                  capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["metrics", str(empty)]) == 0
+        captured = capsys.readouterr()
+        assert "no records" in captured.err
+        assert captured.out == ""
 
     def test_profile_with_no_clusters_prints_readable_notice(
             self, capsys, monkeypatch):
