@@ -32,6 +32,10 @@ audit WORKLOAD
 executors
     List the registered executor fan-out backends (``--executor`` /
     ``REPRO_EXECUTOR`` select one for ``matrix`` and ``serve``).
+cache stats | cache gc --max-bytes N
+    Inspect or prune the on-disk persistence layers: the result cache
+    and the Phase A checkpoint store (entry counts, bytes, oldest-first
+    eviction; see docs/checkpoint-store.md).
 serve
     Start the long-running simulation service: a JSON HTTP API
     accepting sample/matrix/audit jobs, with per-tenant quotas and
@@ -58,6 +62,9 @@ tier.  ``sample``, ``compare``, ``matrix``, and ``profile`` accept
 ``sample``, ``matrix``, and ``profile`` accept ``--cluster-jobs N`` (or
 ``REPRO_CLUSTER_JOBS``) to run shardable methods through the two-phase
 pipeline with N hot-shard workers (see docs/parallel-execution.md).
+``sample``, ``matrix``, ``profile``, and ``serve`` accept ``--store``
+(or ``REPRO_CHECKPOINT_STORE``) to persist and reuse Phase A cold scans
+across runs (see docs/checkpoint-store.md).
 
 Every invocation mints one correlation ``run_id`` (unless ``REPRO_RUN_ID``
 is already set) and plants it for the run's extent, so span, event, and
@@ -123,6 +130,16 @@ def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="checkpoint store for Phase A read-through: 'on' (the "
+             "default directory), 'off', or a store directory path "
+             "(default: REPRO_CHECKPOINT_STORE or off; see "
+             "docs/checkpoint-store.md)",
+    )
+
+
 def _resolve_scale(args):
     # main() builds the validated RunOptions once (flags folded in);
     # handlers invoked directly in tests fall back to flag/env reads.
@@ -144,6 +161,7 @@ def _options_for(args):
         matrix_jobs=getattr(args, "jobs", None),
         cluster_jobs=getattr(args, "cluster_jobs", None),
         executor=getattr(args, "executor", None),
+        checkpoint_store=getattr(args, "store", None),
     )
 
 
@@ -652,6 +670,55 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Inspect or prune the on-disk persistence layers.
+
+    ``stats`` tabulates entry counts and bytes for the result cache and
+    the checkpoint store; ``gc --max-bytes N`` evicts oldest-mtime
+    entries from the selected layer(s) until each fits the budget.
+    Both resolve the layers exactly like a run would (flags, then the
+    ``REPRO_RESULT_CACHE`` / ``REPRO_CHECKPOINT_STORE`` environment,
+    then the default directories).
+    """
+    options = _options_for(args)
+    cache = options.cache(
+        None if args.cache == "auto" else args.cache, default="on")
+    store = options.store(args.store, default="on")
+    layers = []
+    if cache is not None:
+        layers.append(("results", cache))
+    if store is not None:
+        layers.append(("checkpoints", store))
+    if args.action == "stats":
+        rows = [
+            [name, str(layer.root), str(layer.entry_count()),
+             f"{layer.total_bytes():,}"]
+            for name, layer in layers
+        ]
+        print(format_table(
+            ["layer", "root", "entries", "bytes"], rows,
+            title="On-disk persistence layers",
+        ))
+        return 0
+    # gc: a negative budget is bad user input — ValueError maps to the
+    # CLI's readable exit-2 diagnostic in main().
+    if args.max_bytes < 0:
+        raise ValueError(
+            f"--max-bytes must be >= 0, got {args.max_bytes}")
+    selected = [(name, layer) for name, layer in layers
+                if args.layer in ("all", name)]
+    if not selected:
+        raise ValueError(
+            f"layer {args.layer!r} is disabled "
+            f"(resolved to no directory); nothing to prune")
+    for name, layer in selected:
+        removed = layer.gc(args.max_bytes)
+        print(f"{name}: evicted {len(removed)} of "
+              f"{len(removed) + layer.entry_count()} entries from "
+              f"{layer.root} ({layer.total_bytes():,} bytes remain)")
+    return 0
+
+
 def cmd_executors(_args) -> int:
     """List the registered executor fan-out backends."""
     from .harness import (
@@ -795,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(sample_parser)
     _add_trace_argument(sample_parser)
     _add_cluster_jobs_argument(sample_parser)
+    _add_store_argument(sample_parser)
     sample_parser.set_defaults(handler=cmd_sample)
 
     compare_parser = subparsers.add_parser(
@@ -866,11 +934,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_argument(matrix_parser)
     _add_cluster_jobs_argument(matrix_parser)
     _add_executor_argument(matrix_parser)
+    _add_store_argument(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     subparsers.add_parser(
         "executors", help="list registered executor fan-out backends",
     ).set_defaults(handler=cmd_executors)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or prune the result cache and checkpoint store",
+    )
+    cache_actions = cache_parser.add_subparsers(dest="action",
+                                                required=True)
+    cache_stats_parser = cache_actions.add_parser(
+        "stats", help="entry counts and bytes for both on-disk layers",
+    )
+    cache_gc_parser = cache_actions.add_parser(
+        "gc", help="evict oldest-mtime entries down to a byte budget",
+    )
+    cache_gc_parser.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="byte budget per selected layer (0 empties it)",
+    )
+    cache_gc_parser.add_argument(
+        "--layer", choices=("results", "checkpoints", "all"),
+        default="all",
+        help="which layer to prune (default: all)",
+    )
+    for action_parser in (cache_stats_parser, cache_gc_parser):
+        action_parser.add_argument(
+            "--cache", default="auto",
+            help="result cache: 'auto' (REPRO_RESULT_CACHE or the "
+                 "default directory), 'off', or a directory path",
+        )
+        _add_store_argument(action_parser)
+        action_parser.set_defaults(handler=cmd_cache)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the long-running simulation service",
@@ -894,6 +993,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(serve_parser)
     _add_executor_argument(serve_parser)
+    _add_store_argument(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
 
     submit_parser = subparsers.add_parser(
@@ -959,6 +1059,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(profile_parser)
     _add_trace_argument(profile_parser)
     _add_cluster_jobs_argument(profile_parser)
+    _add_store_argument(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     audit_parser = subparsers.add_parser(
@@ -1079,6 +1180,7 @@ def main(argv=None) -> int:
             matrix_jobs=getattr(args, "jobs", None),
             cluster_jobs=getattr(args, "cluster_jobs", None),
             executor=getattr(args, "executor", None),
+            checkpoint_store=getattr(args, "store", None),
         )
         # One correlation id per invocation (REPRO_RUN_ID wins when the
         # caller set one, e.g. an orchestrator correlating several
@@ -1087,7 +1189,13 @@ def main(argv=None) -> int:
         if args.options.run_id is None:
             args.options = args.options.with_overrides(
                 run_id=mint_run_id())
-        with bound_run_id(args.options.run_id):
+        # A --store flag rides the environment to wherever Phase A
+        # resolves it (the pipeline, matrix cells, service jobs) —
+        # the same mechanism REPRO_CHECKPOINT_STORE itself uses.
+        from .store import STORE_ENV_VAR
+        with bound_run_id(args.options.run_id), \
+                _env_overrides({STORE_ENV_VAR: getattr(args, "store",
+                                                       None)}):
             return args.handler(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -297,7 +297,10 @@ class RunRequest:
         fingerprint a safe :class:`~repro.harness.ResultCache` key.
         Execution knobs that cannot change results (`jobs`,
         `cluster_jobs` — sharded folds are bit-identical to serial)
-        are excluded.
+        are excluded; the ambient checkpoint store
+        (``REPRO_CHECKPOINT_STORE``) is likewise absent because store
+        hits materialise exactly what a live Phase A scan would
+        produce — the payload is byte-identical either way.
         """
         identity = self.to_payload()
         identity.pop("jobs")

@@ -19,9 +19,9 @@ from __future__ import annotations
 from ..warmup.base import WarmupMethod, SimulationContext
 from .branch_reconstruct import ReverseBranchReconstructor
 from .cache_reconstruct import CacheReconstructionStats, ReverseCacheReconstructor
-from .counter_table import CounterInferenceTable
+from .counter_table import CounterInferenceTable, default_table
 from .logging import SkipRegionLog
-from .source import make_source
+from .source import make_source, resolved_source_kind
 
 
 class ReverseStateReconstruction(WarmupMethod):
@@ -167,6 +167,32 @@ class ReverseStateReconstruction(WarmupMethod):
         """Consume a handed-off gap log in place of this bind's own."""
         source.adopt_telemetry(self.telemetry)
         self.log = source
+
+    def store_identity(self) -> "dict | None":
+        """Checkpoint-store identity: every knob shaping the cold scan.
+
+        None for callable source factories — a third-party source has no
+        stable identity the store could key on, so those runs are simply
+        not persisted.  The resolved source kind (raw vs compacted) is
+        part of the identity because the two log representations produce
+        different shard payloads; `max_history` matters because the
+        compacted engine sizes its PHT windows to it.
+        """
+        source_kind = resolved_source_kind(self.source)
+        if source_kind is None:
+            return None
+        table = self._table if self._table is not None else default_table()
+        return {
+            "method": type(self).__name__,
+            "name": self.name,
+            "fraction": self.fraction,
+            "warm_cache": self.warm_cache,
+            "warm_predictor": self.warm_predictor,
+            "on_demand": self.on_demand,
+            "infer_counters": self.infer_counters,
+            "source": source_kind,
+            "max_history": table.max_history,
+        }
 
     # -- cluster boundary ------------------------------------------------------
 

@@ -207,6 +207,23 @@ class ReconstructionSource:
         self.telemetry = telemetry
 
 
+def resolved_source_kind(kind: str = "auto") -> "str | None":
+    """The concrete source kind `kind` resolves to, without building one.
+
+    ``"auto"`` consults ``REPRO_LOG_COMPACTION`` exactly as
+    :func:`make_source` does; concrete kinds pass through unchanged.  A
+    callable factory resolves to None — its output has no stable
+    identity, which tells content-addressed stores (checkpoint-store
+    keys) the run is not storable.
+    """
+    if callable(kind):
+        return None
+    if kind == "auto":
+        setting = os.environ.get(COMPACTION_ENV_VAR, "").strip().lower()
+        return "raw" if setting in _RAW_SENTINELS else "compacted"
+    return kind
+
+
 def make_source(kind: str = "auto", *, context=None, fraction: float = 1.0,
                 warm_cache: bool = True, warm_predictor: bool = True,
                 table=None, telemetry=None) -> ReconstructionSource:
@@ -222,9 +239,7 @@ def make_source(kind: str = "auto", *, context=None, fraction: float = 1.0,
     """
     if callable(kind):
         return kind()
-    if kind == "auto":
-        setting = os.environ.get(COMPACTION_ENV_VAR, "").strip().lower()
-        kind = "raw" if setting in _RAW_SENTINELS else "compacted"
+    kind = resolved_source_kind(kind)
     if kind == "raw":
         from .logging import SkipRegionLog
 

@@ -23,16 +23,20 @@ cache without torn entries.
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
-import pickle
-import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
+
+from ..store.serialization import (
+    atomic_write_pickle,
+    directory_stats,
+    evict_lru,
+    safe_read_pickle,
+    stable_payload,
+)
 
 #: Environment variable controlling the default cache location.
 CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
@@ -67,25 +71,10 @@ def code_version() -> str:
     return digest.hexdigest()[:16]
 
 
-def _stable(value):
-    """Recursively convert a config object into JSON-stable primitives."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            "__type__": type(value).__name__,
-            **{
-                f.name: _stable(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            },
-        }
-    if isinstance(value, enum.Enum):
-        return [type(value).__name__, value.value]
-    if isinstance(value, (list, tuple)):
-        return [_stable(item) for item in value]
-    if isinstance(value, dict):
-        return {str(key): _stable(item) for key, item in sorted(value.items())}
-    if value is None or isinstance(value, (str, int, float, bool)):
-        return value
-    return repr(value)
+#: Canonical JSON-stable rendering now lives with the shared
+#: serialization helpers (`repro.store.serialization.stable_payload`);
+#: the historical private name stays importable for in-package callers.
+_stable = stable_payload
 
 
 def cache_key(
@@ -148,37 +137,24 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str):
-        """The cached value for `key`, or None on a miss."""
-        path = self._path(key)
-        try:
-            payload = path.read_bytes()
-            value = pickle.loads(payload)
-        except Exception:
-            # A cache must never fail a run: any unreadable or corrupt
-            # entry (pickle raises assorted exception types on garbage
-            # bytes) is simply a miss to be recomputed.
+        """The cached value for `key`, or None on a miss.
+
+        A cache must never fail a run: a missing entry is a silent
+        miss, and an unreadable or truncated one degrades to a miss
+        with a warn-once stderr note (shared helper, same discipline as
+        the checkpoint store).
+        """
+        value, _ = safe_read_pickle(self._path(key),
+                                    category="result-cache entry")
+        if value is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return value
 
     def put(self, key: str, value) -> None:
-        """Atomically persist `value` under `key`."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
-        )
-        try:
-            with os.fdopen(handle, "wb") as stream:
-                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        """Atomically persist `value` under `key` (temp file + rename)."""
+        atomic_write_pickle(self._path(key), value)
         self.stats.writes += 1
 
     def __contains__(self, key: str) -> bool:
@@ -186,6 +162,15 @@ class ResultCache:
 
     def entry_count(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across every entry."""
+        return directory_stats(self.root, "*/*.pkl")[1]
+
+    def gc(self, max_bytes: int) -> list[Path]:
+        """Evict oldest-mtime entries until the cache fits `max_bytes`;
+        returns the removed paths."""
+        return evict_lru(self.root, max_bytes, "*/*.pkl")
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

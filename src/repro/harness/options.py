@@ -25,6 +25,7 @@ The consolidated variables::
     REPRO_CLUSTER_JOBS       Phase B shard workers (0 = one per CPU)
     REPRO_EXECUTOR           fan-out backend name (see `repro executors`)
     REPRO_RESULT_CACHE       result cache: off/on/<directory>
+    REPRO_CHECKPOINT_STORE   Phase A checkpoint store: off/on/<directory>
     REPRO_TRACE              per-cluster JSONL trace path
     REPRO_TELEMETRY          in-memory telemetry collection switch
     REPRO_SPANS              span recording: off/1/<jsonl path>
@@ -104,6 +105,7 @@ class RunOptions:
     cluster_jobs: "int | None" = None
     executor: "str | None" = None
     result_cache: "str | None" = None
+    checkpoint_store: "str | None" = None
     trace: "str | None" = None
     telemetry: bool = False
     spans: "str | None" = None
@@ -161,6 +163,7 @@ class RunOptions:
                                         env("REPRO_CLUSTER_JOBS")),
             "executor": env("REPRO_EXECUTOR") or None,
             "result_cache": env("REPRO_RESULT_CACHE") or None,
+            "checkpoint_store": env("REPRO_CHECKPOINT_STORE") or None,
             "trace": env("REPRO_TRACE") or None,
             "telemetry": _parse_bool("REPRO_TELEMETRY",
                                      env("REPRO_TELEMETRY"),
@@ -206,6 +209,14 @@ class RunOptions:
             setting = self.result_cache
         return resolve_cache(setting, default=default)
 
+    def store(self, setting=None, *, default: "str | None" = None):
+        """A :class:`~repro.store.CheckpointStore` (or None) for this run."""
+        from ..store import resolve_store
+
+        if setting is None:
+            setting = self.checkpoint_store
+        return resolve_store(setting, default=default)
+
     def resolved_matrix_jobs(self) -> int:
         """Matrix-cell workers: configured value, else one per CPU."""
         jobs = self.matrix_jobs
@@ -234,6 +245,7 @@ class RunOptions:
                                    else str(self.cluster_jobs)),
             "REPRO_EXECUTOR": self.executor or "",
             "REPRO_RESULT_CACHE": self.result_cache or "",
+            "REPRO_CHECKPOINT_STORE": self.checkpoint_store or "",
             "REPRO_TRACE": self.trace or "",
             "REPRO_TELEMETRY": "1" if self.telemetry else "",
             "REPRO_SPANS": self.spans or "",
@@ -263,6 +275,7 @@ class RunOptions:
         owned = [
             "REPRO_EXPERIMENT_SCALE", "REPRO_MATRIX_JOBS",
             "REPRO_CLUSTER_JOBS", "REPRO_EXECUTOR", "REPRO_RESULT_CACHE",
+            "REPRO_CHECKPOINT_STORE",
             "REPRO_TRACE", "REPRO_TELEMETRY", "REPRO_SPANS",
             "REPRO_EVENTS", "REPRO_AUDIT", "REPRO_LOG_COMPACTION",
             "REPRO_BATCH_CORE", "REPRO_RUN_ID", "REPRO_SERVICE_LOG",

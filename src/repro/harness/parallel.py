@@ -290,7 +290,8 @@ def _span_parent_env(span_context):
 
 def map_tasks(worker, tasks, jobs: int, span_context=None,
               executor: "str | Executor | None" = None,
-              run_id: "str | None" = None) -> list:
+              run_id: "str | None" = None,
+              on_result=None) -> list:
     """Order-preserving parallel map: ``[worker(t) for t in tasks]``.
 
     The generic fan-out underneath the two-phase pipeline's shard
@@ -312,6 +313,13 @@ def map_tasks(worker, tasks, jobs: int, span_context=None,
     it once per run), an explicit value pins the fan-out's correlation
     id for library callers.
 
+    `on_result` is forwarded to the backend's ``map``: called as
+    ``on_result(index, result)`` from the calling thread in completion
+    order, it lets callers fold results as they land (streaming folds)
+    instead of waiting for the full ordered list.  Backends that do not
+    stream simply return the list; callers must treat ``on_result`` as
+    best-effort and fall back to the return value.
+
     An interrupted or crashing fan-out closes the backend with
     ``cancel=True`` — pending work is abandoned and live worker
     processes are terminated, never orphaned.
@@ -321,7 +329,7 @@ def map_tasks(worker, tasks, jobs: int, span_context=None,
     backend = resolve_executor(executor, jobs=jobs)
     with _propagation_env(span_context, run_id):
         try:
-            return backend.map(worker, tasks)
+            return backend.map(worker, tasks, on_result=on_result)
         except BaseException:
             backend.close(cancel=True)
             raise

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..branch import BranchPredictor
@@ -170,23 +171,117 @@ class LivePointLibrary:
 
     # -- persistence ----------------------------------------------------------
 
+    #: Payload format marker for :meth:`save` / :meth:`load`.  Version 1
+    #: wraps the library in a manifest-style envelope written through
+    #: the checkpoint store's atomic serialization helpers; version 0 is
+    #: the historical bare ``pickle.dump(self)`` layout, still loadable
+    #: through the legacy shim (with a DeprecationWarning).
+    PAYLOAD_VERSION = 1
+
     def save(self, path) -> None:
-        """Serialise the library (pickle) for later replays."""
-        with open(path, "wb") as stream:
-            pickle.dump(self, stream)
+        """Serialise the library for later replays (atomic write).
+
+        Written through the shared store serialization helpers
+        (:func:`repro.store.serialization.atomic_write_pickle`), so a
+        crashed or concurrent writer can never leave a torn library on
+        disk.  The envelope carries a content digest and point count
+        that :meth:`load` cross-checks.
+        """
+        from ..store.serialization import atomic_write_pickle, blob_digest
+
+        blob = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_pickle(path, {
+            "format": "repro-livepoints",
+            "version": self.PAYLOAD_VERSION,
+            "workload": self.workload.name,
+            "points": len(self.points),
+            "digest": blob_digest(blob),
+            "library": blob,
+        })
 
     @staticmethod
     def load(path) -> "LivePointLibrary":
         """Load a library saved by :meth:`save`.
 
-        Only load files you created yourself: pickle executes arbitrary
-        code on malicious inputs.
+        Cross-checks the envelope's content digest and point count
+        before trusting the payload; a bare-pickle file from an older
+        version still loads, with a :class:`DeprecationWarning` asking
+        for a re-save.  Only load files you created yourself: pickle
+        executes arbitrary code on malicious inputs.
         """
-        with open(path, "rb") as stream:
-            library = pickle.load(stream)
+        from ..store.serialization import (
+            CorruptEntryError,
+            blob_digest,
+            read_pickle,
+        )
+
+        value, _ = read_pickle(path)
+        if isinstance(value, LivePointLibrary):
+            # Legacy (version 0) bare-pickle layout.
+            warnings.warn(
+                f"{path} uses the legacy bare-pickle live-points layout; "
+                f"re-save it with LivePointLibrary.save for the "
+                f"digest-checked envelope",
+                DeprecationWarning, stacklevel=2,
+            )
+            return value
+        if (not isinstance(value, dict)
+                or value.get("format") != "repro-livepoints"):
+            raise TypeError("file does not contain a LivePointLibrary")
+        blob = value.get("library", b"")
+        if value.get("digest") != blob_digest(blob):
+            raise CorruptEntryError(
+                f"{path}: live-points payload digest mismatch")
+        library = pickle.loads(blob)
         if not isinstance(library, LivePointLibrary):
             raise TypeError("file does not contain a LivePointLibrary")
+        if value.get("points") != len(library.points):
+            raise CorruptEntryError(
+                f"{path}: envelope records {value.get('points')} points "
+                f"but the library holds {len(library.points)}")
         return library
+
+    # -- checkpoint-store integration ------------------------------------------
+
+    def store_key(self, *, warmup_prefix: int = 0,
+                  method_identity: "dict | None" = None) -> str:
+        """The content-addressed store key for this library.
+
+        `method_identity` is the generating warm-up method's
+        :meth:`~repro.warmup.base.WarmupMethod.store_identity` (the
+        default SMARTS recipe when None) — libraries warmed by
+        different methods hold different microarchitectural state and
+        must never share a key.
+        """
+        from ..store import livepoint_store_key
+
+        return livepoint_store_key(
+            self.workload, self.regimen, self.configs,
+            warmup_prefix=warmup_prefix,
+            method_identity=(method_identity
+                             or {"method": "SmartsWarmup"}),
+        )
+
+    def store_in(self, store, *, warmup_prefix: int = 0,
+                 method_identity: "dict | None" = None) -> str:
+        """Persist this library under its content key; returns the key."""
+        key = self.store_key(warmup_prefix=warmup_prefix,
+                             method_identity=method_identity)
+        store.put(key, self, kind="livepoints", meta={
+            "workload": self.workload.name,
+            "points": len(self.points),
+            "cluster_size": int(self.regimen.cluster_size),
+        })
+        return key
+
+    @staticmethod
+    def from_store(store, key: str) -> "LivePointLibrary | None":
+        """The stored library for `key`, or None on a (possibly
+        corrupt-degraded) miss."""
+        value = store.get(key, kind="livepoints")
+        if value is not None and not isinstance(value, LivePointLibrary):
+            return None
+        return value
 
     def __len__(self) -> int:
         return len(self.points)

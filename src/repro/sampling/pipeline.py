@@ -20,8 +20,22 @@ two-phase pipeline (:func:`run_sharded`) exploits it:
   runs the method's reconstruction plus the detailed ramp + cluster, and
   returns its IPC, cost deltas, and telemetry snapshot.  Shards fan out
   over :func:`repro.harness.parallel.map_tasks`
-  (``REPRO_CLUSTER_JOBS`` / ``--cluster-jobs``) and fold back
-  deterministically in cluster order.
+  (``REPRO_CLUSTER_JOBS`` / ``--cluster-jobs``) and fold back through a
+  **streaming fold**: results are consumed via the executor's
+  ``on_result`` callback in completion order and folded deterministically
+  in cluster order with a pending-heap (:class:`_ShardFold`), so each
+  cluster's trace/audit records land as soon as every earlier cluster
+  has — no barrier, identical results whatever order shards finish.
+
+Phase A is additionally **read-through** against the optional
+:class:`~repro.store.CheckpointStore` (``REPRO_CHECKPOINT_STORE`` /
+``--store``): on a store hit the shards materialise from disk — after a
+digest + geometry cross-check proving they match what a live scan would
+produce — without executing the cold scan or the warm-up prefix; on a
+miss the scan runs as usual and its shards are captured into the store
+for the next run.  Store hits are bit-identical to cold runs by
+construction (the shards *are* the cold scan's output), which is what
+makes core-parameter sweeps O(sampled instructions).
 
 Exactness: architectural state in every shard is exact by construction
 (the checkpoint), so cluster positions, gap logs, and instruction counts
@@ -38,12 +52,16 @@ fixed period, MRRL/BLRL) declare ``shardable = False`` and stay serial.
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
 import os
 import pickle
 import time
 from dataclasses import dataclass, field
 
 from ..functional import FunctionalCheckpoint
+from ..store.checkpoint import GLOBAL_STORE_STATS, resolve_store, shard_store_key
+from ..store.serialization import warn_once
 from ..telemetry import (
     EVENT_RUN_END,
     EVENT_RUN_START,
@@ -329,8 +347,7 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     configs = simulator.configs
     telemetry = simulator._telemetry_session()
     traced = telemetry.enabled
-    stack = build_simulation(simulator.workload, configs)
-    machine = stack.machine
+    store, store_key = _shard_store_for(simulator, method)
     emit_event(telemetry.events_path, EVENT_RUN_START,
                workload=simulator.workload.name, method=method.name,
                strategy="sharded", cluster_jobs=jobs)
@@ -339,8 +356,22 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
         strategy="sharded", cluster_jobs=jobs,
     )
     run_span.__enter__()
-    with telemetry.span("prefix", cat="phase"), telemetry.phase("prefix"):
-        stack.warm_prefix(simulator.warmup_prefix)
+
+    # Read-through: a validated store hit replaces the entire cold scan
+    # (including the warm-up prefix — the stored checkpoints already
+    # embody it); any corruption or geometry mismatch degrades to the
+    # live scan below.
+    stored_shards = None
+    if store is not None:
+        stored_shards = _load_stored_shards(store, store_key, simulator,
+                                            telemetry)
+
+    stack = build_simulation(simulator.workload, configs)
+    machine = stack.machine
+    if stored_shards is None:
+        with telemetry.span("prefix", cat="phase"), \
+                telemetry.phase("prefix"):
+            stack.warm_prefix(simulator.warmup_prefix)
     # The clone template is pickled before bind, while the method holds
     # configuration only; every shard worker unpickles a private copy
     # and binds it to its own context.
@@ -383,47 +414,58 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
     cost = method.cost
     start_time = time.perf_counter()
 
-    # -- Phase A: serial cold scan, one ClusterShard per cluster ----------
-    phase_a_span = telemetry.span("phase_a", cat="phase")
-    phase_a_span.__enter__()
-    shards: list[ClusterShard] = []
-    position = 0
-    for index, cluster_start in enumerate(simulator.regimen.cluster_starts()):
-        ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
-        functional_before = cost.functional_instructions
-        records_before = cost.log_records
-        with telemetry.span(f"cluster {index}", cluster=index), \
-                telemetry.span(PHASE_COLD_SKIP, cat="phase"), \
-                telemetry.phase(PHASE_COLD_SKIP):
-            if gap > 0:
-                method.skip(gap)
-            position = cluster_start - ramp
-            checkpoint = FunctionalCheckpoint.capture(machine)
-            source = method.detach_source()
-            # Advance cold across the cluster region the shard will
-            # simulate in detail; hook-less execution invalidates the
-            # ifetch marker itself, but do it explicitly so a halted
-            # machine behaves like the serial walk too.
-            cold = machine.run(cluster_size + ramp)
-            machine.invalidate_fetch_block()
-        position += cold
-        shards.append(ClusterShard(
-            index=index,
-            cluster_start=cluster_start,
-            gap=gap,
-            ramp=ramp,
-            checkpoint=checkpoint,
-            source=source,
-            skip_cost={
-                "functional_instructions":
-                    cost.functional_instructions - functional_before,
-                "log_records": cost.log_records - records_before,
-            },
-            cold_instructions=cold,
-            audit_slice=(audit_slices.get(index)
-                         if audit_slices is not None else None),
-        ))
-    phase_a_span.__exit__(None, None, None)
+    # -- Phase A: read-through cold scan, one ClusterShard per cluster ----
+    if stored_shards is not None:
+        # Store hit: materialise the shards without executing anything.
+        # The parent cost ledger replays the stored per-cluster cold-scan
+        # deltas, so `WarmupCost` is bit-identical to a live scan's.
+        with telemetry.span("phase_a", cat="phase", store="hit"):
+            shards = _materialize_shards(stored_shards, audit_slices, cost)
+    else:
+        phase_a_span = telemetry.span("phase_a", cat="phase")
+        phase_a_span.__enter__()
+        shards = []
+        position = 0
+        for index, cluster_start in enumerate(
+                simulator.regimen.cluster_starts()):
+            ramp, gap = cluster_geometry(position, cluster_start,
+                                         detail_ramp)
+            functional_before = cost.functional_instructions
+            records_before = cost.log_records
+            with telemetry.span(f"cluster {index}", cluster=index), \
+                    telemetry.span(PHASE_COLD_SKIP, cat="phase"), \
+                    telemetry.phase(PHASE_COLD_SKIP):
+                if gap > 0:
+                    method.skip(gap)
+                position = cluster_start - ramp
+                checkpoint = FunctionalCheckpoint.capture(machine)
+                source = method.detach_source()
+                # Advance cold across the cluster region the shard will
+                # simulate in detail; hook-less execution invalidates the
+                # ifetch marker itself, but do it explicitly so a halted
+                # machine behaves like the serial walk too.
+                cold = machine.run(cluster_size + ramp)
+                machine.invalidate_fetch_block()
+            position += cold
+            shards.append(ClusterShard(
+                index=index,
+                cluster_start=cluster_start,
+                gap=gap,
+                ramp=ramp,
+                checkpoint=checkpoint,
+                source=source,
+                skip_cost={
+                    "functional_instructions":
+                        cost.functional_instructions - functional_before,
+                    "log_records": cost.log_records - records_before,
+                },
+                cold_instructions=cold,
+                audit_slice=(audit_slices.get(index)
+                             if audit_slices is not None else None),
+            ))
+        phase_a_span.__exit__(None, None, None)
+        if store is not None:
+            _capture_shards(store, store_key, shards, simulator, telemetry)
 
     # -- Phase B: hot shards in parallel ----------------------------------
     tasks = [
@@ -441,29 +483,17 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
 
     # Workers re-parent their cluster spans under phase_b: the context
     # (parent id + run clock origin) travels via the environment and is
-    # captured while the phase_b span is open.
+    # captured while the phase_b span is open.  The fold is streaming:
+    # each completion lands through `on_result` and folds (deterministic
+    # cluster order, pending-heap) while later shards still execute.
+    fold = _ShardFold(shards, cost, telemetry, traced)
     with telemetry.span("phase_b", cat="phase"):
         results = map_tasks(run_shard, tasks, jobs,
-                            span_context=telemetry.spans.context())
-
-    # -- fold, in cluster order -------------------------------------------
-    cluster_ipcs: list[float] = []
-    worker_snapshots: list[TelemetrySnapshot] = []
-    for shard, result in zip(shards, results):
-        if result.instructions != shard.cold_instructions:
-            raise RuntimeError(
-                f"cluster shard {shard.index} retired "
-                f"{result.instructions} instructions but the cold scan "
-                f"advanced {shard.cold_instructions}; the checkpoint "
-                f"hand-off is corrupt"
-            )
-        cluster_ipcs.append(result.ipc)
-        delta = result.cost_delta
-        cost.hot_instructions += delta["hot_instructions"]
-        cost.cache_updates += delta["cache_updates"]
-        cost.predictor_updates += delta["predictor_updates"]
-        if result.snapshot is not None:
-            worker_snapshots.append(result.snapshot)
+                            span_context=telemetry.spans.context(),
+                            on_result=fold.on_result)
+    fold.finish(results)
+    cluster_ipcs = fold.cluster_ipcs
+    worker_snapshots = fold.snapshots
 
     run_span.__exit__(None, None, None)
     wall_seconds = time.perf_counter() - start_time
@@ -473,15 +503,10 @@ def run_sharded(simulator, method, jobs: int) -> SampledRunResult:
         "sharded": True,
         "cluster_jobs": jobs,
     }
+    if store is not None:
+        extra["checkpoint_store"] = ("hit" if stored_shards is not None
+                                     else "miss")
     if traced:
-        # Worker trace records flow through the parent session (so a
-        # REPRO_TRACE file contains every cluster exactly once), and
-        # worker spans are adopted into the parent recorder — already
-        # parented under phase_b and stamped on the run timeline ...
-        for snapshot in worker_snapshots:
-            for record in snapshot.trace_records:
-                telemetry.emit(record)
-            telemetry.spans.adopt(snapshot.spans)
         telemetry.set_gauge("run.wall_seconds", wall_seconds)
         telemetry.set_gauge("run.clusters", len(cluster_ipcs))
         telemetry.set_gauge("run.cluster_jobs", jobs)
@@ -630,3 +655,208 @@ def _without_records(snapshot: TelemetrySnapshot) -> TelemetrySnapshot:
         trace_records=[],
         spans=[],
     )
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-store read-through (Phase A)
+# ---------------------------------------------------------------------------
+
+
+def _shard_store_for(simulator, method):
+    """``(store, key)`` for this run, or ``(None, None)``.
+
+    Both conditions must hold: a store is configured
+    (``REPRO_CHECKPOINT_STORE``) *and* the method declares a storable
+    identity (:meth:`~repro.warmup.base.WarmupMethod.store_identity` —
+    None for methods whose Phase A output depends on unserialisable
+    state, e.g. a callable source factory).
+    """
+    store = resolve_store()
+    if store is None:
+        return None, None
+    identity = method.store_identity()
+    if identity is None:
+        return None, None
+    key = shard_store_key(
+        simulator.workload, simulator.regimen, simulator.configs,
+        warmup_prefix=simulator.warmup_prefix,
+        detail_ramp=simulator.detail_ramp,
+        method_identity=identity,
+    )
+    return store, key
+
+
+def _load_stored_shards(store, key, simulator, telemetry):
+    """Validated stored shards for this run, or None (→ live scan).
+
+    Beyond the store's own digest/manifest cross-check, the shard list
+    is re-walked against the regimen geometry — every shard must sit
+    exactly where :func:`cluster_geometry` would place it given the
+    previous shards' cold advances — so a stale or mismatched entry can
+    never silently replace a cold scan.
+    """
+    starts = [int(start) for start in simulator.regimen.cluster_starts()]
+    expect = {"clusters": len(starts), "cluster_starts": starts}
+    with telemetry.span("store_lookup", cat="cache", kind="shards"):
+        stored = store.get(key, kind="shards", expect=expect)
+    if stored is None:
+        return None
+    problem = _validate_stored_shards(stored, starts, simulator.detail_ramp)
+    if problem is None:
+        return stored
+    # Demote the counted hit: a geometry failure is corruption, and the
+    # run degrades to the live scan exactly as for an unreadable blob.
+    store.stats.hits -= 1
+    GLOBAL_STORE_STATS.hits -= 1
+    store._corrupt(store._blob_path(key, "shards"), problem)
+    return None
+
+
+def _validate_stored_shards(stored, starts, detail_ramp):
+    """None when `stored` walks the regimen geometry exactly, else a
+    description of the first mismatch."""
+    if not isinstance(stored, (list, tuple)):
+        return f"expected a shard list, got {type(stored).__name__}"
+    if len(stored) != len(starts):
+        return (f"{len(stored)} shards stored but the regimen has "
+                f"{len(starts)} clusters")
+    position = 0
+    for index, (shard, cluster_start) in enumerate(zip(stored, starts)):
+        ramp, gap = cluster_geometry(position, cluster_start, detail_ramp)
+        if (getattr(shard, "index", None) != index
+                or getattr(shard, "cluster_start", None) != cluster_start
+                or getattr(shard, "gap", None) != gap
+                or getattr(shard, "ramp", None) != ramp):
+            return f"shard {index} geometry does not match the regimen"
+        position = cluster_start - ramp + shard.cold_instructions
+    return None
+
+
+def _materialize_shards(stored, audit_slices, cost):
+    """Stored shards re-armed for this run.
+
+    Replays each shard's cold-scan cost deltas into the parent ledger —
+    ``WarmupCost`` stays bit-identical to a live scan's — and attaches
+    this run's audit slices (shards are captured audit-stripped; the
+    reference trajectory is core-config-dependent and rides separately).
+    """
+    shards = []
+    for shard in stored:
+        cost.functional_instructions += shard.skip_cost.get(
+            "functional_instructions", 0)
+        cost.log_records += shard.skip_cost.get("log_records", 0)
+        if audit_slices is not None:
+            shard = dataclasses.replace(
+                shard, audit_slice=audit_slices.get(shard.index))
+        elif shard.audit_slice is not None:
+            shard = dataclasses.replace(shard, audit_slice=None)
+        shards.append(shard)
+    return shards
+
+
+def _capture_shards(store, key, shards, simulator, telemetry):
+    """Persist a live scan's shards (audit-stripped) for future runs.
+
+    A store must never fail a run: any write error degrades to a
+    warn-once stderr note and the run proceeds with its in-memory
+    shards.
+    """
+    starts = [int(start) for start in simulator.regimen.cluster_starts()]
+    stored = [dataclasses.replace(shard, audit_slice=None)
+              for shard in shards]
+    meta = {
+        "workload": simulator.workload.name,
+        "clusters": len(starts),
+        "cluster_starts": starts,
+        "warmup_prefix": int(simulator.warmup_prefix),
+        "detail_ramp": int(simulator.detail_ramp),
+        "cold_instructions": int(sum(s.cold_instructions for s in shards)),
+    }
+    try:
+        with telemetry.span("store_capture", cat="cache", kind="shards"):
+            store.put(key, stored, kind="shards", meta=meta)
+    except Exception as exc:  # pragma: no cover - defensive
+        warn_once("checkpoint-store capture", str(store.root),
+                  f"warning: failed to persist Phase A shards to "
+                  f"{store.root} ({exc}); continuing without the store")
+
+
+# ---------------------------------------------------------------------------
+# streaming fold (Phase B)
+# ---------------------------------------------------------------------------
+
+
+class _ShardFold:
+    """Deterministic streaming fold over Phase B completions.
+
+    ``on_result`` fires in completion order — whatever order the
+    executor's workers finish.  Results queue on a pending-heap keyed by
+    cluster index and fold strictly in cluster order, so the IPC list,
+    cost accumulation, and trace/span re-emission are bit-identical to a
+    barrier fold while each cluster's records land as soon as every
+    earlier cluster has.  :meth:`finish` folds anything the executor
+    returned without signalling (the ordered-list fallback for backends
+    that skip ``on_result``) and verifies completeness.
+    """
+
+    def __init__(self, shards, cost, telemetry, traced):
+        self._shards = shards
+        self._cost = cost
+        self._telemetry = telemetry
+        self._traced = traced
+        self._pending: list = []
+        self._queued: set[int] = set()
+        self._next = 0
+        self.cluster_ipcs: list[float] = []
+        self.snapshots: list[TelemetrySnapshot] = []
+
+    def on_result(self, index: int, result) -> None:
+        del index  # task position == result.index for shard tasks
+        self._push(result)
+
+    def _push(self, result) -> None:
+        if result is None or result.index in self._queued:
+            return
+        self._queued.add(result.index)
+        heapq.heappush(self._pending, (result.index, result))
+        while self._pending and self._pending[0][0] == self._next:
+            _, ready = heapq.heappop(self._pending)
+            self._fold_one(self._shards[ready.index], ready)
+            self._next += 1
+
+    def _fold_one(self, shard: ClusterShard, result: ShardResult) -> None:
+        if result.instructions != shard.cold_instructions:
+            raise RuntimeError(
+                f"cluster shard {shard.index} retired "
+                f"{result.instructions} instructions but the cold scan "
+                f"advanced {shard.cold_instructions}; the checkpoint "
+                f"hand-off is corrupt"
+            )
+        self.cluster_ipcs.append(result.ipc)
+        delta = result.cost_delta
+        self._cost.hot_instructions += delta["hot_instructions"]
+        self._cost.cache_updates += delta["cache_updates"]
+        self._cost.predictor_updates += delta["predictor_updates"]
+        if result.snapshot is not None:
+            self.snapshots.append(result.snapshot)
+            if self._traced:
+                # Worker trace records flow through the parent session
+                # (a REPRO_TRACE file contains every cluster exactly
+                # once), and worker spans are adopted into the parent
+                # recorder — already parented under phase_b and stamped
+                # on the run timeline by the propagated context.
+                for record in result.snapshot.trace_records:
+                    self._telemetry.emit(record)
+                self._telemetry.spans.adopt(result.snapshot.spans)
+
+    def finish(self, results) -> None:
+        """Fold any undelivered results and verify every shard landed."""
+        for result in results:
+            self._push(result)
+        if self._next != len(self._shards):
+            missing = [shard.index for shard in self._shards
+                       if shard.index not in self._queued]
+            raise RuntimeError(
+                f"phase B returned no result for clusters {missing}; "
+                f"the shard hand-off is corrupt"
+            )

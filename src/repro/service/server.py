@@ -53,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from ..api import RunRequest, execute_request
 from ..harness.executor import describe_executors
 from ..harness.options import RunOptions
+from ..store.checkpoint import global_store_stats
 from ..telemetry.expo import BucketHistogram, MetricsExposition
 from ..telemetry.runid import mint_run_id
 from .jobs import JobStore, QuotaExceeded
@@ -77,6 +78,10 @@ _COUNTER_HELP = {
     "quota_rejections": "Submissions rejected by the tenant quota (429).",
     "cache_hits": "Completed jobs served from the result cache.",
     "executed": "Completed jobs that entered real execution.",
+    "store_hits": "Checkpoint-store hits during job execution.",
+    "store_misses": "Checkpoint-store misses during job execution.",
+    "store_bytes_read": "Bytes read from the checkpoint store.",
+    "store_bytes_written": "Bytes written to the checkpoint store.",
 }
 
 
@@ -141,6 +146,10 @@ class SimulationService:
             "quota_rejections": 0,
             "cache_hits": 0,
             "executed": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "store_bytes_read": 0,
+            "store_bytes_written": 0,
         }
         self._counter_lock = threading.Lock()
         #: Latency distributions, maintained under their own lock (the
@@ -296,6 +305,7 @@ class SimulationService:
         self.log.job(state="running", job_id=job.job_id, tenant=job.tenant,
                      kind=job.request.kind, run_id=job.run_id,
                      queue_wait_seconds=job.queue_wait_seconds())
+        store_before = global_store_stats().as_dict()
         try:
             # The job runs under the service's validated options —
             # apply() exports them (and removes strays) for the
@@ -312,6 +322,7 @@ class SimulationService:
         except Exception as exc:  # a bad job must not kill the worker
             self.store.mark_failed(job.job_id, f"{type(exc).__name__}: {exc}")
             self._bump("jobs_failed")
+            self._fold_store_stats(store_before)
             self._observe_job(job)
             self.log.job(state="failed", job_id=job.job_id,
                          tenant=job.tenant, kind=job.request.kind,
@@ -321,10 +332,28 @@ class SimulationService:
         self.store.mark_done(job.job_id, result)
         self._bump("jobs_completed")
         self._bump("cache_hits" if result.cached else "executed")
+        self._fold_store_stats(store_before)
         self._observe_job(job)
         self.log.job(state="done", job_id=job.job_id, tenant=job.tenant,
                      kind=job.request.kind, run_id=job.run_id,
                      run_seconds=job.run_seconds(), cached=result.cached)
+
+    def _fold_store_stats(self, before: dict) -> None:
+        """Fold the job's checkpoint-store traffic into service counters.
+
+        The store keeps process-wide totals
+        (:func:`~repro.store.global_store_stats`); the delta across one
+        job's execution extent is that job's traffic.  Only in-process
+        traffic is visible — pool workers accumulate in their own
+        processes — which matches how the service executes jobs (the
+        read-through Phase A runs in the worker thread for matrix jobs'
+        shared scan and in-process cells).
+        """
+        now = global_store_stats().as_dict()
+        for name in ("hits", "misses", "bytes_read", "bytes_written"):
+            delta = now[name] - before[name]
+            if delta:
+                self._bump(f"store_{name}", delta)
 
     def _resolve_job_cache(self):
         if self._cache_setting is not None:

@@ -193,6 +193,20 @@ class WarmupMethod:
             f"{type(self).__name__} is not shardable"
         )
 
+    def store_identity(self) -> "dict | None":
+        """JSON-stable identity for checkpoint-store keys, or None.
+
+        The two-phase pipeline persists Phase A shards only when the
+        method can describe every configuration knob that affects what
+        its cold scan produces (skip-region logging included) as stable
+        primitives.  The default — None — declares the method not
+        storable, which is always safe: runs merely skip the store.
+        Shardable methods should override this; anything unserialisable
+        in their configuration (e.g. a callable source factory) must
+        resolve to None as well.
+        """
+        return None
+
     # -- shared helpers ------------------------------------------------------
 
     def _updates_now(self) -> tuple[int, int]:
